@@ -1,0 +1,169 @@
+package grouter
+
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation, each running the corresponding experiment end to end,
+// plus micro-benchmarks of the simulation substrate itself. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Every experiment is deterministic; the wall-clock numbers measure the
+// simulator, while the simulated results (what the paper reports) are
+// printed by cmd/grouter-bench.
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/experiments"
+	"grouter/internal/fabric"
+	"grouter/internal/netsim"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+)
+
+// benchExperiment runs one paper experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := e.Run()
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig3Breakdown(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig5bInterference(b *testing.B)  { benchExperiment(b, "fig5b") }
+func BenchmarkFig6aPairBandwidth(b *testing.B) { benchExperiment(b, "fig6a") }
+func BenchmarkFig7aMemoryTimeline(b *testing.B) {
+	benchExperiment(b, "fig7a")
+}
+func BenchmarkTable1Capabilities(b *testing.B)  { benchExperiment(b, "tab1") }
+func BenchmarkFig13DataPassing(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14EndToEnd(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15Throughput(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkFig16Ablation(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkFig17Partitioning(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18ElasticStorage(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19LLMTTFT(b *testing.B)        { benchExperiment(b, "fig19") }
+func BenchmarkFig20aNoNVLink(b *testing.B)      { benchExperiment(b, "fig20a") }
+func BenchmarkFig20bCPUOverhead(b *testing.B)   { benchExperiment(b, "fig20b") }
+func BenchmarkFig20cMemoryOverhead(b *testing.B) {
+	benchExperiment(b, "fig20c")
+}
+func BenchmarkExtColdStart(b *testing.B)      { benchExperiment(b, "ext-coldstart") }
+func BenchmarkExtSpatialSharing(b *testing.B) { benchExperiment(b, "ext-spatial") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEngineEvents measures raw event throughput of the discrete-event
+// engine.
+func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	defer e.Close()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(0)
+	if n != b.N && b.N > 0 {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkProcessSwitch measures cooperative process context switches.
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := sim.NewEngine()
+	defer e.Close()
+	e.Go("switcher", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}
+
+// BenchmarkNetsimFlowChurn measures rate recomputation under concurrent
+// flows on a realistic link graph.
+func BenchmarkNetsimFlowChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		cl := topology.NewCluster(topology.DGXV100(), 1)
+		net := netsim.New(e, cl.Links())
+		node := cl.Node(0)
+		for g := 0; g < 8; g++ {
+			for peer := 0; peer < 8; peer++ {
+				if node.Spec.NVAdj[g][peer] > 0 {
+					net.Start("churn", node.NVLinkPathLinks([]int{g, peer}), 1<<24, netsim.Options{})
+				}
+			}
+		}
+		e.Run(0)
+		e.Close()
+	}
+}
+
+// BenchmarkDataPassing measures one simulated Put/Get exchange per iteration
+// through the full GROUTER stack.
+func BenchmarkDataPassing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := MustNewSim("dgx-v100", 1)
+		pl := s.NewGRouter(FullConfig())
+		s.Go("pass", func(p *Proc) {
+			up := &FnCtx{Fn: "up", Loc: Location{Node: 0, GPU: 0}}
+			down := &FnCtx{Fn: "down", Loc: Location{Node: 0, GPU: 3}}
+			ref, err := pl.Put(p, up, 64<<20)
+			if err != nil {
+				panic(err)
+			}
+			if err := pl.Get(p, down, ref); err != nil {
+				panic(err)
+			}
+			pl.Free(ref)
+		})
+		s.Run()
+		s.Close()
+	}
+}
+
+// BenchmarkTraceGeneration measures Azure-like trace synthesis.
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arr := trace.Generate(trace.Spec{
+			Pattern: trace.Bursty, Duration: time.Minute, MeanRPS: 50, Seed: int64(i),
+		})
+		if len(arr) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkFabricConstruction measures building a two-node simulated
+// cluster.
+func BenchmarkFabricConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		f := fabric.New(e, topology.DGXV100(), 2)
+		if f.NumNodes() != 2 {
+			b.Fatal("bad fabric")
+		}
+		e.Close()
+	}
+}

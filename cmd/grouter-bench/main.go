@@ -1,0 +1,67 @@
+// Command grouter-bench runs the paper-reproduction experiments and prints
+// each figure's rows together with paper-vs-measured notes.
+//
+// Usage:
+//
+//	grouter-bench -list
+//	grouter-bench -run fig13
+//	grouter-bench -run all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"grouter/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e := experiments.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "grouter-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, *e)
+		}
+	}
+	if *asJSON {
+		var results []*experiments.Table
+		for _, e := range todo {
+			results = append(results, e.Run())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "grouter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range todo {
+		start := time.Now()
+		tbl := e.Run()
+		fmt.Println(tbl.Format())
+		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

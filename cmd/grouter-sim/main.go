@@ -1,0 +1,117 @@
+// Command grouter-sim runs one serverless inference workflow on a simulated
+// GPU cluster under a chosen data plane and trace, printing latency
+// percentiles, the passing/compute breakdown, and data-plane statistics.
+//
+// Usage:
+//
+//	grouter-sim -workflow traffic -system grouter -spec dgx-v100
+//	grouter-sim -workflow video -system infless+ -rps 12 -dur 30s
+//	grouter-sim -workflow image -dot          # emit the DAG as Graphviz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"grouter/internal/baselines"
+	"grouter/internal/cluster"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func main() {
+	wfName := flag.String("workflow", "traffic", "workflow: traffic, driving, video, image")
+	wfFile := flag.String("workflow-file", "", "load a custom workflow definition (JSON) instead")
+	system := flag.String("system", "grouter", "data plane: grouter, infless+, nvshmem+, deepplan+")
+	specName := flag.String("spec", "dgx-v100", "topology: dgx-v100, dgx-a100, h800x8, quad-a10")
+	nodes := flag.Int("nodes", 1, "node count")
+	split := flag.Bool("split", false, "split stages across nodes")
+	batch := flag.Int("batch", 0, "batch size (0 = workflow default)")
+	pattern := flag.String("pattern", "bursty", "trace pattern: sporadic, periodic, bursty")
+	rps := flag.Float64("rps", 8, "mean request rate")
+	dur := flag.Duration("dur", 20*time.Second, "trace duration (virtual)")
+	seed := flag.Int64("seed", 1, "random seed")
+	slots := flag.Int("gpu-slots", 1, "concurrent functions per GPU (spatial sharing)")
+	dot := flag.Bool("dot", false, "print the workflow DAG as Graphviz and exit")
+	flag.Parse()
+
+	var wf *workflow.Workflow
+	if *wfFile != "" {
+		loaded, err := workflow.LoadFile(*wfFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		wf = loaded
+	} else if wf = workflow.ByName(*wfName); wf == nil {
+		fail("unknown workflow %q", *wfName)
+	}
+	if *dot {
+		fmt.Print(wf.DOT())
+		return
+	}
+	spec := topology.SpecByName(*specName)
+	if spec == nil {
+		fail("unknown topology %q", *specName)
+	}
+	pat, err := trace.ParsePattern(*pattern)
+	if err != nil {
+		fail("%v", err)
+	}
+	mk, ok := planes(*seed)[*system]
+	if !ok {
+		fail("unknown system %q", *system)
+	}
+
+	engine := sim.NewEngine()
+	defer engine.Close()
+	c := cluster.NewSpatial(engine, spec, *nodes, *slots, mk)
+	app := c.Deploy(wf, *batch, scheduler.Options{Node: -1, SplitAcrossNodes: *split, Seed: *seed})
+	arrivals := trace.Generate(trace.Spec{Pattern: pat, Duration: *dur, MeanRPS: *rps, Seed: *seed})
+	start := time.Now()
+	app.RunTrace(arrivals)
+
+	fmt.Printf("workflow=%s system=%s spec=%s nodes=%d batch=%d trace=%s(%.1f rps, %v)\n",
+		wf.Name, *system, spec.Name, *nodes, app.Batch, pat, *rps, *dur)
+	fmt.Printf("requests: %d completed (sim ran in %v wall clock)\n",
+		app.Completed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("latency:  p50=%s p90=%s p99=%s max=%s\n",
+		mss(app.E2E.P(0.5)), mss(app.E2E.P(0.9)), mss(app.E2E.P(0.99)), mss(app.E2E.Max()))
+	pass := app.XferGPU.Mean() + app.XferHost.Mean()
+	comp := app.Compute.Mean()
+	share := 0.0
+	if pass+comp > 0 {
+		share = pass.Seconds() / (pass + comp).Seconds()
+	}
+	fmt.Printf("breakdown: gFn-gFn=%s gFn-host=%s compute=%s passing-share=%.0f%%\n",
+		mss(app.XferGPU.Mean()), mss(app.XferHost.Mean()), mss(comp), share*100)
+	fmt.Printf("slo: %s, compliance %.0f%%\n", mss(app.SLO), app.SLOCompliance()*100)
+	st := c.Plane.Stats()
+	fmt.Printf("data plane: %d puts, %d gets, %d copies, %.1f GiB moved, %d control ops\n",
+		st.Puts, st.Gets, st.Copies, float64(st.BytesMoved)/float64(1<<30), st.ControlOps)
+}
+
+func planes(seed int64) map[string]func(*fabric.Fabric) dataplane.Plane {
+	return map[string]func(*fabric.Fabric) dataplane.Plane{
+		"grouter":   func(f *fabric.Fabric) dataplane.Plane { return core.New(f, core.FullConfig()) },
+		"infless+":  func(f *fabric.Fabric) dataplane.Plane { return baselines.NewINFless(f) },
+		"nvshmem+":  func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, seed) },
+		"deepplan+": func(f *fabric.Fabric) dataplane.Plane { return baselines.NewDeepPlan(f, seed) },
+	}
+}
+
+func mss(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "grouter-sim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,43 @@
+// Command grouter-trace generates and summarizes Azure-like invocation
+// traces with the three arrival patterns the paper samples (sporadic,
+// periodic, bursty).
+//
+// Usage:
+//
+//	grouter-trace -pattern bursty -rps 20 -dur 60s -seed 7
+//	grouter-trace -pattern periodic -rps 10 -dur 2m -emit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"grouter/internal/trace"
+)
+
+func main() {
+	pattern := flag.String("pattern", "bursty", "arrival pattern: sporadic, periodic, bursty")
+	rps := flag.Float64("rps", 10, "mean request rate")
+	dur := flag.Duration("dur", time.Minute, "trace duration")
+	seed := flag.Int64("seed", 1, "random seed")
+	emit := flag.Bool("emit", false, "print every arrival offset (seconds), one per line")
+	flag.Parse()
+
+	p, err := trace.ParsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grouter-trace: %v\n", err)
+		os.Exit(2)
+	}
+	arrivals := trace.Generate(trace.Spec{Pattern: p, Duration: *dur, MeanRPS: *rps, Seed: *seed})
+	st := trace.Summarize(arrivals, *dur)
+	fmt.Printf("pattern=%s dur=%v seed=%d\n", p, *dur, *seed)
+	fmt.Printf("arrivals=%d mean=%.2f req/s peak(1s)=%.0f req/s cv=%.2f\n",
+		st.Count, st.Mean, st.PeakRPS, st.CV)
+	if *emit {
+		for _, a := range arrivals {
+			fmt.Printf("%.6f\n", a.Seconds())
+		}
+	}
+}

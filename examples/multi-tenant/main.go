@@ -1,0 +1,64 @@
+// Multi-tenant: SLO-aware bandwidth partitioning in action. A
+// latency-critical road-segmentation workflow ("driving") shares a DGX-V100
+// node with a transfer-intensive video-analytics workflow that continuously
+// loads large chunks over PCIe. The program runs the pair twice — with
+// GROUTER's fine-grained bandwidth harvesting and with DeepPlan-style
+// uncontrolled sharing — and prints how much of the interference the
+// partitioning absorbs.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"grouter/internal/cluster"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func runPair(label string, cfg core.Config) (p99 time.Duration, hostXfer time.Duration, compliance float64) {
+	engine := sim.NewEngine()
+	defer engine.Close()
+	c := cluster.New(engine, topology.DGXV100(), 1, func(f *fabric.Fabric) dataplane.Plane {
+		return core.New(f, cfg)
+	})
+	driving := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	video := c.Deploy(workflow.Video(), 0, scheduler.Options{Node: 0})
+
+	dur := 15 * time.Second
+	for _, at := range trace.Generate(trace.Spec{Pattern: trace.Bursty, Duration: dur, MeanRPS: 6, Seed: 5}) {
+		at := at
+		engine.Schedule(at, func() { driving.Invoke() })
+	}
+	for _, at := range trace.Generate(trace.Spec{Pattern: trace.Bursty, Duration: dur, MeanRPS: 24, Seed: 6}) {
+		at := at
+		engine.Schedule(at, func() { video.Invoke() })
+	}
+	engine.Run(0)
+	fmt.Printf("%-22s driving: %3d reqs  p99 %6.2f ms  gFn-host %5.2f ms  SLO met %3.0f%%   (video: %d reqs)\n",
+		label, driving.Completed,
+		float64(driving.E2E.P(0.99))/float64(time.Millisecond),
+		float64(driving.XferHost.Mean())/float64(time.Millisecond),
+		driving.SLOCompliance()*100, video.Completed)
+	return driving.E2E.P(0.99), driving.XferHost.Mean(), driving.SLOCompliance()
+}
+
+func main() {
+	fmt.Println("driving (latency-critical) colocated with video (transfer-intensive), DGX-V100")
+	fmt.Println()
+	full := core.FullConfig()
+	_, fullHost, _ := runPair("with partitioning", full)
+
+	shared := core.FullConfig()
+	shared.NoRateControl = true // DeepPlan-style uncontrolled sharing
+	_, sharedHost, _ := runPair("without partitioning", shared)
+
+	fmt.Printf("\nbandwidth partitioning keeps driving's staging transfers %.1fx faster under contention\n",
+		sharedHost.Seconds()/fullHost.Seconds())
+}

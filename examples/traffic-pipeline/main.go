@@ -1,0 +1,62 @@
+// Traffic pipeline: the paper's Fig. 1 motivating application end to end.
+// A traffic-monitoring workflow (video decode → preprocess → YOLO detection
+// → postprocess → conditional person/car recognition) is deployed on a
+// simulated DGX-V100 and driven with an Azure-like bursty trace, once on
+// GROUTER and once on each baseline. The program prints per-system latency
+// percentiles and the data-passing/compute breakdown.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"grouter/internal/baselines"
+	"grouter/internal/cluster"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func main() {
+	arrivals := trace.Generate(trace.Spec{
+		Pattern:  trace.Bursty,
+		Duration: 20 * time.Second,
+		MeanRPS:  8,
+		Seed:     42,
+	})
+	fmt.Printf("traffic-monitoring workflow, %d requests over 20s (bursty Azure-like trace)\n\n",
+		len(arrivals))
+	fmt.Printf("%-10s %9s %9s %10s %10s %9s\n",
+		"system", "p50(ms)", "p99(ms)", "gfngfn(ms)", "gfnhost(ms)", "comp(ms)")
+
+	systems := []struct {
+		name string
+		mk   func(f *fabric.Fabric) dataplane.Plane
+	}{
+		{"infless+", func(f *fabric.Fabric) dataplane.Plane { return baselines.NewINFless(f) }},
+		{"nvshmem+", func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, 1) }},
+		{"deepplan+", func(f *fabric.Fabric) dataplane.Plane { return baselines.NewDeepPlan(f, 1) }},
+		{"grouter", func(f *fabric.Fabric) dataplane.Plane { return core.New(f, core.FullConfig()) }},
+	}
+	for _, sys := range systems {
+		engine := sim.NewEngine()
+		c := cluster.New(engine, topology.DGXV100(), 1, sys.mk)
+		app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: 0})
+		app.RunTrace(arrivals)
+		engine.Close()
+		fmt.Printf("%-10s %9.2f %9.2f %10.2f %10.2f %9.2f\n",
+			sys.name,
+			msf(app.E2E.P(0.5)), msf(app.E2E.P(0.99)),
+			msf(app.XferGPU.Mean()), msf(app.XferHost.Mean()), msf(app.Compute.Mean()))
+	}
+	fmt.Println("\nOn the host-centric plane, data passing dominates end-to-end latency;")
+	fmt.Println("GROUTER keeps intermediate tensors on the producing GPUs and the")
+	fmt.Println("workflow becomes compute-bound.")
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,3 @@
+module grouter
+
+go 1.22

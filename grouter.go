@@ -1,0 +1,104 @@
+// Package grouter is a GPU-centric data plane for serverless inference
+// workflows, reproducing "Efficient Data Passing for Serverless Inference
+// Workflows: A GPU-Centric Approach" (EuroSys 2026) on a simulated GPU
+// cluster substrate.
+//
+// The package is a convenience façade over the library's subsystems:
+//
+//   - grouter.NewSim builds a deterministic simulated cluster (DGX-V100,
+//     DGX-A100, 8×H800 or 4×A10 nodes);
+//   - Sim.NewGRouter / NewINFless / NewNVShmem / NewDeepPlan construct the
+//     data planes, all implementing the same Plane interface (Put/Get/Free);
+//   - Sim.NewCluster wires a data plane into a serverless runtime that
+//     deploys workflow DAGs and executes requests.
+//
+// See examples/quickstart for the shortest end-to-end program and
+// cmd/grouter-bench for the paper-reproduction experiments.
+package grouter
+
+import (
+	"fmt"
+
+	"grouter/internal/baselines"
+	"grouter/internal/cluster"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// Re-exported core types: the façade lets downstream code use the library
+// without spelling internal import paths.
+type (
+	// Plane is a serverless data plane (GROUTER or a baseline).
+	Plane = dataplane.Plane
+	// FnCtx identifies the calling function instance to the data plane.
+	FnCtx = dataplane.FnCtx
+	// DataRef names a stored intermediate-data object.
+	DataRef = dataplane.DataRef
+	// Location is a physical placement (node + GPU, or host memory).
+	Location = fabric.Location
+	// Config toggles GROUTER's optimizations (all enabled by default).
+	Config = core.Config
+	// Proc is a cooperative simulation process.
+	Proc = sim.Proc
+)
+
+// HostGPU marks host memory in a Location.
+const HostGPU = fabric.HostGPU
+
+// FullConfig returns the complete GROUTER system configuration.
+func FullConfig() Config { return core.FullConfig() }
+
+// Sim is one deterministic simulation universe: an engine plus a cluster
+// fabric. Every Sim is independent; identical inputs produce identical
+// results.
+type Sim struct {
+	Engine *sim.Engine
+	Fabric *fabric.Fabric
+}
+
+// NewSim builds a simulation of n nodes of the named topology: "dgx-v100",
+// "dgx-a100", "h800x8", or "quad-a10".
+func NewSim(spec string, n int) (*Sim, error) {
+	s := topology.SpecByName(spec)
+	if s == nil {
+		return nil, fmt.Errorf("grouter: unknown topology %q", spec)
+	}
+	e := sim.NewEngine()
+	return &Sim{Engine: e, Fabric: fabric.New(e, s, n)}, nil
+}
+
+// MustNewSim is NewSim for tests and examples; it panics on a bad name.
+func MustNewSim(spec string, n int) *Sim {
+	s, err := NewSim(spec, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Close terminates the simulation and its background processes.
+func (s *Sim) Close() { s.Engine.Close() }
+
+// Run executes the simulation until all non-daemon activity completes.
+func (s *Sim) Run() { s.Engine.Run(0) }
+
+// Go spawns a simulation process.
+func (s *Sim) Go(name string, body func(p *Proc)) { s.Engine.Go(name, body) }
+
+// NewGRouter builds the GPU-centric data plane on this simulation.
+func (s *Sim) NewGRouter(cfg Config) Plane { return core.New(s.Fabric, cfg) }
+
+// NewINFless builds the host-centric baseline.
+func (s *Sim) NewINFless() Plane { return baselines.NewINFless(s.Fabric) }
+
+// NewNVShmem builds the placement-agnostic GPU-store baseline.
+func (s *Sim) NewNVShmem(seed int64) Plane { return baselines.NewNVShmem(s.Fabric, seed) }
+
+// NewDeepPlan builds the parallel-PCIe GPU-store baseline.
+func (s *Sim) NewDeepPlan(seed int64) Plane { return baselines.NewDeepPlan(s.Fabric, seed) }
+
+// Runtime re-exports the serverless cluster runtime.
+type Runtime = cluster.Cluster

@@ -1,0 +1,85 @@
+package grouter
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewSimValidatesSpec(t *testing.T) {
+	if _, err := NewSim("not-a-box", 1); err == nil {
+		t.Error("unknown topology should error")
+	}
+	s, err := NewSim("dgx-a100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Fabric.NumNodes() != 2 {
+		t.Errorf("nodes = %d", s.Fabric.NumNodes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSim should panic on bad spec")
+		}
+	}()
+	MustNewSim("nope", 1)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	s := MustNewSim("dgx-v100", 1)
+	defer s.Close()
+	pl := s.NewGRouter(FullConfig())
+	var elapsed time.Duration
+	s.Go("exchange", func(p *Proc) {
+		up := &FnCtx{Fn: "up", Workflow: "facade", Loc: Location{Node: 0, GPU: 0}}
+		down := &FnCtx{Fn: "down", Workflow: "facade", Loc: Location{Node: 0, GPU: 4}}
+		start := p.Now()
+		ref, err := pl.Put(p, up, 32<<20)
+		if err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		if err := pl.Get(p, down, ref); err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		pl.Free(ref)
+		elapsed = p.Now() - start
+	})
+	s.Run()
+	if elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if pl.Stats().Copies != 1 {
+		t.Errorf("copies = %d, want 1", pl.Stats().Copies)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	s := MustNewSim("dgx-v100", 1)
+	defer s.Close()
+	for _, pl := range []Plane{s.NewINFless(), s.NewNVShmem(3), s.NewDeepPlan(3)} {
+		pl := pl
+		s.Go("exchange-"+pl.Name(), func(p *Proc) {
+			up := &FnCtx{Fn: "up", Loc: Location{Node: 0, GPU: 1}}
+			down := &FnCtx{Fn: "down", Loc: Location{Node: 0, GPU: 6}}
+			ref, err := pl.Put(p, up, 8<<20)
+			if err != nil {
+				t.Errorf("%s Put: %v", pl.Name(), err)
+				return
+			}
+			if err := pl.Get(p, down, ref); err != nil {
+				t.Errorf("%s Get: %v", pl.Name(), err)
+			}
+			pl.Free(ref)
+		})
+	}
+	s.Run()
+}
+
+func TestHostLocation(t *testing.T) {
+	host := Location{Node: 0, GPU: HostGPU}
+	if !host.IsHost() {
+		t.Error("HostGPU constant does not mark host memory")
+	}
+}

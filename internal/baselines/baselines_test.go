@@ -1,0 +1,226 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+const MB = int64(1) << 20
+
+// exchange runs one warm-up plus one measured Put/Get/Free exchange.
+func exchange(t *testing.T, pl dataplane.Plane, e *sim.Engine, src, dst fabric.Location, bytes int64) time.Duration {
+	t.Helper()
+	var elapsed time.Duration
+	e.Go("exchange", func(p *sim.Proc) {
+		up := &dataplane.FnCtx{Fn: "up", Workflow: "t", Loc: src}
+		down := &dataplane.FnCtx{Fn: "down", Workflow: "t", Loc: dst}
+		once := func() {
+			ref, err := pl.Put(p, up, bytes)
+			if err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			if err := pl.Get(p, down, ref); err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			pl.Free(ref)
+		}
+		once()
+		start := p.Now()
+		once()
+		elapsed = p.Now() - start
+	})
+	e.Run(0)
+	return elapsed
+}
+
+func TestINFlessAlwaysCrossesHost(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := NewINFless(f)
+	loc := fabric.Location{Node: 0, GPU: 2}
+	exchange(t, pl, e, loc, loc, 64*MB)
+	// Even a same-GPU exchange makes two host copies per round (×2 rounds).
+	if got := pl.Stats().Copies; got != 4 {
+		t.Errorf("copies = %d, want 4 (D2H+H2D per exchange)", got)
+	}
+}
+
+func TestINFlessSerializationCost(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := NewINFless(f)
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 0, GPU: 1}
+	lat := exchange(t, pl, e, src, dst, 120*MB)
+	// Two pageable PCIe crossings at 3 GB/s plus two serialization passes
+	// at 5 GB/s: at least ~130 ms.
+	if lat < 100*time.Millisecond {
+		t.Errorf("host-centric exchange of 120 MiB took %v, implausibly fast", lat)
+	}
+}
+
+func TestINFlessCrossNodeRelaysThroughHosts(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 2)
+	pl := NewINFless(f)
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 1, GPU: 0}
+	exchange(t, pl, e, src, dst, 16*MB)
+	// Per exchange: D2H, host→host, H2D = 3 copies (×2 rounds).
+	if got := pl.Stats().Copies; got != 6 {
+		t.Errorf("cross-node copies = %d, want 6", got)
+	}
+}
+
+func TestNVShmemPlacementAgnostic(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := NewNVShmem(f, 11)
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 0, GPU: 3}
+	exchange(t, pl, e, src, dst, 64*MB)
+	// Put copies to a random store GPU and Get copies out: 2 per exchange.
+	if got := pl.Stats().Copies; got != 4 {
+		t.Errorf("copies = %d, want 4", got)
+	}
+	if pl.Name() != "nvshmem+" {
+		t.Errorf("name = %s", pl.Name())
+	}
+}
+
+func TestNVShmemDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) time.Duration {
+		e := sim.NewEngine()
+		defer e.Close()
+		f := fabric.New(e, topology.DGXV100(), 1)
+		pl := NewNVShmem(f, seed)
+		return exchange(t, pl, e,
+			fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 0, GPU: 5}, 32*MB)
+	}
+	if run(5) != run(5) {
+		t.Error("same seed gave different latencies")
+	}
+}
+
+func TestDeepPlanFasterHostTransfers(t *testing.T) {
+	lat := func(mk func(f *fabric.Fabric) dataplane.Plane) time.Duration {
+		e := sim.NewEngine()
+		defer e.Close()
+		f := fabric.New(e, topology.DGXV100(), 1)
+		return exchange(t, mk(f), e,
+			fabric.Location{Node: 0, GPU: fabric.HostGPU}, fabric.Location{Node: 0, GPU: 0}, 256*MB)
+	}
+	nv := lat(func(f *fabric.Fabric) dataplane.Plane { return NewNVShmem(f, 3) })
+	dp := lat(func(f *fabric.Fabric) dataplane.Plane { return NewDeepPlan(f, 3) })
+	if !(dp < nv) {
+		t.Errorf("deepplan+ host transfer %v not faster than nvshmem+ %v", dp, nv)
+	}
+}
+
+func TestNVShmemSymmetricPoolsMirrored(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := NewNVShmem(f, 7)
+	// Static symmetric reserve exists on every GPU from the start.
+	first := pl.Store(0).Pool(0).Reserved()
+	if first == 0 {
+		t.Fatal("no static reserve")
+	}
+	for g := 1; g < 8; g++ {
+		if pl.Store(0).Pool(g).Reserved() != first {
+			t.Errorf("pool %d not symmetric", g)
+		}
+	}
+}
+
+func TestCrossNodeGetRelays(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 2)
+	pl := NewNVShmem(f, 13)
+	src := fabric.Location{Node: 0, GPU: 1}
+	dst := fabric.Location{Node: 1, GPU: 6}
+	exchange(t, pl, e, src, dst, 32*MB)
+	// Put copy + cross-node relay + local delivery = 3 copies per exchange.
+	if got := pl.Stats().Copies; got < 6 {
+		t.Errorf("cross-node copies = %d, want >= 6 over two exchanges", got)
+	}
+}
+
+func TestGetUnknownRefErrors(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	for _, pl := range []dataplane.Plane{NewINFless(f), NewNVShmem(f, 1)} {
+		pl := pl
+		e.Go("bad-get", func(p *sim.Proc) {
+			ctx := &dataplane.FnCtx{Fn: "f", Loc: fabric.Location{Node: 0, GPU: 0}}
+			if err := pl.Get(p, ctx, dataplane.DataRef{ID: 4242, Bytes: 1}); err == nil {
+				t.Errorf("%s: Get of unknown ref should error", pl.Name())
+			}
+		})
+	}
+	e.Run(0)
+}
+
+func TestPlaneNames(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	if got := NewINFless(f).Name(); got != "infless+" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewDeepPlan(f, 1).Name(); got != "deepplan+" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestEvictionMigratorPaths(t *testing.T) {
+	// Force the NVSHMEM+ store under pressure so its single-link migrator's
+	// ToHost path runs.
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := NewNVShmem(f, 21)
+	// Leave just enough room that the static pools bind.
+	for _, dev := range f.NodeF(0).GPUs {
+		if dev.Free() > 256<<20 {
+			if _, err := dev.Alloc(dev.Free() - 256<<20); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.Go("pressure", func(p *sim.Proc) {
+		ctx := &dataplane.FnCtx{Fn: "f", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 0}}
+		var refs []dataplane.DataRef
+		for i := 0; i < 72; i++ {
+			ref, err := pl.Put(p, ctx, 150<<20)
+			if err != nil {
+				t.Fatalf("Put %d: %v", i, err)
+			}
+			refs = append(refs, ref)
+		}
+		for _, r := range refs {
+			pl.Free(r)
+		}
+	})
+	e.Run(0)
+	evictions := int64(0)
+	st := pl.Store(0)
+	evictions = st.Evictions.N + st.Spills.N
+	if evictions == 0 {
+		t.Error("expected evictions or spills under pressure")
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"time"
+
+	"grouter/internal/fabric"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+)
+
+// AutoscaleConfig drives per-stage instance scaling, the elasticity the
+// paper's serverless substrate provides: when a stage's GPU queue stays deep,
+// another instance of that function is provisioned on a lightly loaded GPU
+// and invocations round-robin over the pool.
+type AutoscaleConfig struct {
+	// MaxReplicas caps the instance pool per stage (≥1).
+	MaxReplicas int
+	// QueueThreshold is the per-instance mean GPU queue depth that triggers
+	// a scale-out.
+	QueueThreshold int
+	// Interval is the controller's evaluation period.
+	Interval time.Duration
+}
+
+// DefaultAutoscale returns a responsive scaling policy.
+func DefaultAutoscale() AutoscaleConfig {
+	return AutoscaleConfig{MaxReplicas: 4, QueueThreshold: 2, Interval: 250 * time.Millisecond}
+}
+
+// pools returns (building lazily) the app's per-stage instance pools.
+func (a *App) poolsMap() map[scheduler.StageInst][]fabric.Location {
+	if a.pools == nil {
+		a.pools = make(map[scheduler.StageInst][]fabric.Location)
+		for si, loc := range a.Placement {
+			a.pools[si] = []fabric.Location{loc}
+		}
+	}
+	return a.pools
+}
+
+// poolOf returns the instance pool for one stage instance.
+func (a *App) poolOf(si scheduler.StageInst) []fabric.Location {
+	return a.poolsMap()[si]
+}
+
+// instanceFor picks the pool member serving request seq (round-robin).
+func (a *App) instanceFor(si scheduler.StageInst, seq int64) (fabric.Location, int) {
+	pool := a.poolOf(si)
+	if len(pool) == 0 {
+		// Stage instances always have a base placement; an empty pool is a
+		// deployment bug.
+		panic("cluster: no instances for " + si.String())
+	}
+	idx := int(seq) % len(pool)
+	return pool[idx], idx
+}
+
+// Replicas returns the current pool size of a stage instance.
+func (a *App) Replicas(stage string, replica int) int {
+	return len(a.poolOf(scheduler.StageInst{Stage: stage, Replica: replica}))
+}
+
+// ScaleEvents returns how many scale-outs the controller performed.
+func (a *App) ScaleEvents() int64 { return a.scaleEvents }
+
+// EnableAutoscale starts a daemon controller that scales GPU stages out when
+// their instances' GPU queues stay above the threshold.
+func (a *App) EnableAutoscale(cfg AutoscaleConfig) {
+	if cfg.MaxReplicas < 1 {
+		cfg.MaxReplicas = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.QueueThreshold < 1 {
+		cfg.QueueThreshold = 1
+	}
+	a.poolsMap() // materialize before the controller races with Invoke
+	a.C.Engine.GoDaemon("autoscale-"+a.WF.Name, func(p *sim.Proc) {
+		for {
+			p.Sleep(cfg.Interval)
+			a.evaluateScaling(cfg)
+		}
+	})
+}
+
+// evaluateScaling runs one controller step.
+func (a *App) evaluateScaling(cfg AutoscaleConfig) {
+	for _, s := range a.WF.Stages {
+		if !s.IsGPU() {
+			continue
+		}
+		for r := 0; r < s.ReplicaCount(); r++ {
+			si := scheduler.StageInst{Stage: s.Name, Replica: r}
+			pool := a.poolOf(si)
+			if len(pool) >= cfg.MaxReplicas {
+				continue
+			}
+			depth := 0
+			for _, loc := range pool {
+				depth += a.C.resourceAt(loc).QueueLen()
+			}
+			if depth/len(pool) < cfg.QueueThreshold {
+				continue
+			}
+			// Scale out: provision one more instance on a lightly loaded GPU
+			// of the same node (hierarchical control plane: local decision).
+			loc := a.C.Placer.PlaceSingle(pool[0].Node)
+			a.pools[si] = append(a.pools[si], loc)
+			a.scaleEvents++
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func TestAutoscaleScalesOutUnderOverload(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.EnableAutoscale(AutoscaleConfig{MaxReplicas: 4, QueueThreshold: 2, Interval: 100 * time.Millisecond})
+	// Overload: far more than one segmentation instance can sustain.
+	for _, at := range trace.Generate(trace.Spec{
+		Pattern: trace.Sporadic, Duration: 5 * time.Second, MeanRPS: 80, Seed: 3,
+	}) {
+		at := at
+		e.Schedule(at, func() { app.Invoke() })
+	}
+	e.Run(0)
+	if app.ScaleEvents() == 0 {
+		t.Fatal("controller never scaled out under overload")
+	}
+	// The bottleneck stage (segmentation) should have grown its pool.
+	if got := app.Replicas("segmentation", 0); got < 2 {
+		t.Errorf("segmentation replicas = %d, want >= 2", got)
+	}
+	if app.Replicas("segmentation", 0) > 4 {
+		t.Error("pool exceeded MaxReplicas")
+	}
+}
+
+func TestAutoscaleIdleAppStaysAtOne(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.EnableAutoscale(DefaultAutoscale())
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			app.Invoke().Wait(p)
+			p.Sleep(200 * time.Millisecond)
+		}
+	})
+	e.Run(0)
+	if app.ScaleEvents() != 0 {
+		t.Errorf("idle app scaled out %d times", app.ScaleEvents())
+	}
+	if app.Replicas("denoise", 0) != 1 {
+		t.Errorf("replicas = %d, want 1", app.Replicas("denoise", 0))
+	}
+}
+
+func TestAutoscaleImprovesThroughput(t *testing.T) {
+	measure := func(auto bool) int {
+		e := sim.NewEngine()
+		defer e.Close()
+		c := New(e, topology.DGXV100(), 1, grouterPlane)
+		app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+		if auto {
+			app.EnableAutoscale(AutoscaleConfig{MaxReplicas: 4, QueueThreshold: 2, Interval: 100 * time.Millisecond})
+		}
+		for _, at := range trace.Generate(trace.Spec{
+			Pattern: trace.Sporadic, Duration: 8 * time.Second, MeanRPS: 80, Seed: 3,
+		}) {
+			at := at
+			e.Schedule(at, func() { app.Invoke() })
+		}
+		e.Run(8 * time.Second) // fixed horizon: count completions inside it
+		return app.Completed
+	}
+	fixed := measure(false)
+	scaled := measure(true)
+	if !(scaled > fixed) {
+		t.Errorf("autoscaling completed %d, fixed %d — expected improvement", scaled, fixed)
+	}
+}
+
+func TestAutoscaledColdInstances(t *testing.T) {
+	// New instances provisioned by the autoscaler start cold when cold
+	// starts are enabled.
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.SetColdStart(ColdStartPolicy{Enabled: true, ContainerLatency: 200 * time.Millisecond,
+		KeepAlive: time.Minute, Prewarm: true})
+	app.EnableAutoscale(AutoscaleConfig{MaxReplicas: 3, QueueThreshold: 2, Interval: 100 * time.Millisecond})
+	for _, at := range trace.Generate(trace.Spec{
+		Pattern: trace.Sporadic, Duration: 5 * time.Second, MeanRPS: 80, Seed: 9,
+	}) {
+		at := at
+		e.Schedule(at, func() { app.Invoke() })
+	}
+	e.Run(0)
+	if app.ScaleEvents() == 0 {
+		t.Skip("no scale-out under this seed")
+	}
+	// Pre-warmed base instances plus cold autoscaled ones → some cold starts.
+	if app.ColdStarts() == 0 {
+		t.Error("autoscaled instances should cold-start")
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"time"
+
+	"grouter/internal/sim"
+)
+
+// Batcher implements adaptive request batching for an app, the mechanism the
+// paper's substrate (INFless, following BATCH) uses to trade latency for
+// throughput: logical requests queue at the workflow's front end and are
+// dispatched as one batched invocation when either MaxBatch requests are
+// waiting or MaxWait has elapsed since the oldest queued request.
+type Batcher struct {
+	App *App
+	// MaxBatch caps the aggregated batch size.
+	MaxBatch int
+	// MaxWait bounds how long the first queued request waits for company.
+	MaxWait time.Duration
+
+	queue []*pendingReq
+	// dispatching marks an armed timeout/dispatch cycle.
+	dispatching bool
+
+	// Dispatches counts batched invocations; Batched sums logical requests
+	// served, so Batched/Dispatches is the achieved mean batch size.
+	Dispatches int64
+	Batched    int64
+	// Latency records logical-request latency including queueing delay.
+	Latency *timeLatency
+}
+
+// timeLatency is a tiny wrapper so Batcher can record per-request latency
+// without exposing a second metrics dependency in this file's API surface.
+type timeLatency struct {
+	samples []time.Duration
+}
+
+func (l *timeLatency) add(d time.Duration) { l.samples = append(l.samples, d) }
+
+// P returns the q-quantile of recorded latencies (nearest rank).
+func (l *timeLatency) P(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), l.samples...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(q*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Count returns the number of completed logical requests.
+func (l *timeLatency) Count() int { return len(l.samples) }
+
+type pendingReq struct {
+	arrived time.Duration
+	done    *sim.Signal
+}
+
+// NewBatcher builds an adaptive batcher for app.
+func NewBatcher(app *App, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &Batcher{App: app, MaxBatch: maxBatch, MaxWait: maxWait, Latency: &timeLatency{}}
+}
+
+// Submit enqueues one logical request and returns a signal fired when its
+// batch completes. Must be called from event or process context.
+func (b *Batcher) Submit() *sim.Signal {
+	e := b.App.C.Engine
+	req := &pendingReq{arrived: e.Now(), done: sim.NewSignal(e)}
+	b.queue = append(b.queue, req)
+	if len(b.queue) >= b.MaxBatch {
+		b.dispatch()
+		return req.done
+	}
+	if !b.dispatching {
+		b.dispatching = true
+		e.Schedule(b.MaxWait, func() {
+			b.dispatching = false
+			if len(b.queue) > 0 {
+				b.dispatch()
+			}
+		})
+	}
+	return req.done
+}
+
+// dispatch invokes the app once for every queued request.
+func (b *Batcher) dispatch() {
+	batch := b.queue
+	if len(batch) > b.MaxBatch {
+		batch = batch[:b.MaxBatch]
+	}
+	b.queue = b.queue[len(batch):]
+	b.Dispatches++
+	b.Batched += int64(len(batch))
+	e := b.App.C.Engine
+	done := b.App.InvokeBatch(len(batch))
+	e.Go("batch-complete", func(p *sim.Proc) {
+		done.Wait(p)
+		now := p.Now()
+		for _, r := range batch {
+			b.Latency.add(now - r.arrived)
+			r.done.Fire()
+		}
+	})
+}
+
+// MeanBatch returns the achieved mean batch size.
+func (b *Batcher) MeanBatch() float64 {
+	if b.Dispatches == 0 {
+		return 0
+	}
+	return float64(b.Batched) / float64(b.Dispatches)
+}

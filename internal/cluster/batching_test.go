@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func newBatchedApp(t *testing.T, maxBatch int, maxWait time.Duration) (*sim.Engine, *Batcher) {
+	t.Helper()
+	e := sim.NewEngine()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0})
+	return e, NewBatcher(app, maxBatch, maxWait)
+}
+
+func TestBatcherAggregatesBurst(t *testing.T) {
+	e, b := newBatchedApp(t, 8, 5*time.Millisecond)
+	defer e.Close()
+	// 8 requests at the same instant form exactly one batch of 8.
+	for i := 0; i < 8; i++ {
+		e.Schedule(0, func() { b.Submit() })
+	}
+	e.Run(0)
+	if b.Dispatches != 1 {
+		t.Errorf("dispatches = %d, want 1", b.Dispatches)
+	}
+	if b.MeanBatch() != 8 {
+		t.Errorf("mean batch = %.1f, want 8", b.MeanBatch())
+	}
+	if b.Latency.Count() != 8 {
+		t.Errorf("latency samples = %d, want 8", b.Latency.Count())
+	}
+}
+
+func TestBatcherTimeoutFlushesPartialBatch(t *testing.T) {
+	e, b := newBatchedApp(t, 32, 4*time.Millisecond)
+	defer e.Close()
+	e.Schedule(0, func() { b.Submit() })
+	e.Schedule(time.Millisecond, func() { b.Submit() })
+	e.Run(0)
+	if b.Dispatches != 1 || b.Batched != 2 {
+		t.Errorf("dispatches/batched = %d/%d, want 1/2", b.Dispatches, b.Batched)
+	}
+	// The first request waited the timeout before compute started.
+	if got := b.Latency.P(0); got < 4*time.Millisecond {
+		t.Errorf("min latency %v below the batching wait", got)
+	}
+}
+
+func TestBatcherSplitsOversizedBurst(t *testing.T) {
+	e, b := newBatchedApp(t, 4, 2*time.Millisecond)
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		e.Schedule(0, func() { b.Submit() })
+	}
+	e.Run(0)
+	if b.Batched != 10 {
+		t.Fatalf("batched = %d, want 10", b.Batched)
+	}
+	if b.Dispatches < 3 {
+		t.Errorf("dispatches = %d, want >= 3 with MaxBatch 4", b.Dispatches)
+	}
+}
+
+func TestBatchingImprovesThroughputUnderLoad(t *testing.T) {
+	// Offer more load than the unbatched pipeline can sustain (the
+	// segmentation stage caps out under ~200 req/s at batch 1) and measure
+	// completions within a fixed horizon.
+	measure := func(maxBatch int) float64 {
+		e := sim.NewEngine()
+		defer e.Close()
+		c := New(e, topology.DGXV100(), 1, grouterPlane)
+		app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0})
+		b := NewBatcher(app, maxBatch, 3*time.Millisecond)
+		dur := 10 * time.Second
+		arrivals := trace.Generate(trace.Spec{
+			Pattern: trace.Sporadic, Duration: dur, MeanRPS: 400, Seed: 17,
+		})
+		for _, at := range arrivals {
+			at := at
+			e.Schedule(at, func() { b.Submit() })
+		}
+		e.Run(dur)
+		return float64(b.Latency.Count()) / dur.Seconds()
+	}
+	t1 := measure(1)
+	t16 := measure(16)
+	if !(t16 > t1*1.2) {
+		t.Errorf("batching throughput %.1f not >1.2x unbatched %.1f", t16, t1)
+	}
+}
+
+func TestBatcherMeanBatchEmpty(t *testing.T) {
+	_, b := newBatchedApp(t, 4, time.Millisecond)
+	if b.MeanBatch() != 0 {
+		t.Error("empty batcher mean batch should be 0")
+	}
+	if b.Latency.P(0.5) != 0 {
+		t.Error("empty latency percentile should be 0")
+	}
+}

@@ -1,0 +1,423 @@
+// Package cluster is the serverless runtime: it assembles a simulated GPU
+// cluster with a data plane, deploys workflow apps with placed (pre-warmed)
+// function instances, and executes requests as DAG instances — waiting on
+// dependencies, pulling inputs through the data plane, time-multiplexing GPU
+// compute, and publishing outputs.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/metrics"
+	"grouter/internal/models"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/workflow"
+	"grouter/internal/xfer"
+)
+
+// HostSlots is the number of cFns a node's CPUs run concurrently.
+const HostSlots = 16
+
+// Cluster couples a fabric, a data plane, compute resources, and a placer.
+type Cluster struct {
+	Engine *sim.Engine
+	Fabric *fabric.Fabric
+	Plane  dataplane.Plane
+	Placer *scheduler.Placer
+	Class  models.Class
+
+	gpus  [][]*sim.Resource
+	hosts []*sim.Resource
+	xm    *xfer.Manager
+	seq   int64
+	rng   *rand.Rand
+}
+
+// New builds a cluster of n nodes with the data plane returned by mkPlane.
+// GPUs are time-multiplexed (one function at a time), the sharing model the
+// paper adopts.
+func New(e *sim.Engine, spec *topology.Spec, n int, mkPlane func(*fabric.Fabric) dataplane.Plane) *Cluster {
+	return NewSpatial(e, spec, n, 1, mkPlane)
+}
+
+// NewSpatial builds a cluster whose GPUs each run `slots` functions
+// concurrently (MPS-style spatial sharing, §7). Spatial sharing raises
+// bandwidth and memory contention, which makes the data plane's partitioning
+// and storage management more critical.
+func NewSpatial(e *sim.Engine, spec *topology.Spec, n, slots int, mkPlane func(*fabric.Fabric) dataplane.Plane) *Cluster {
+	if slots < 1 {
+		panic("cluster: GPU slots must be >= 1")
+	}
+	f := fabric.New(e, spec, n)
+	c := &Cluster{
+		Engine: e,
+		Fabric: f,
+		Plane:  mkPlane(f),
+		Placer: scheduler.NewPlacer(f.Cluster),
+		Class:  models.ClassOf(spec),
+		xm:     xfer.NewManager(f),
+		rng:    rand.New(rand.NewSource(97)),
+	}
+	for node := 0; node < n; node++ {
+		var row []*sim.Resource
+		for g := 0; g < spec.NumGPUs; g++ {
+			row = append(row, sim.NewResource(e, slots))
+		}
+		c.gpus = append(c.gpus, row)
+		c.hosts = append(c.hosts, sim.NewResource(e, HostSlots))
+	}
+	return c
+}
+
+// SqueezeGPUMemory consumes GPU memory on every node so that only `leave`
+// bytes remain free per GPU (models co-resident models/functions for the
+// limited-memory experiments).
+func (c *Cluster) SqueezeGPUMemory(leave int64) {
+	for _, nf := range c.Fabric.Nodes {
+		for _, dev := range nf.GPUs {
+			if dev.Free() > leave {
+				if _, err := dev.Alloc(dev.Free() - leave); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+}
+
+// EdgeKind classifies a data-passing edge for latency breakdowns.
+type EdgeKind int
+
+const (
+	// EdgeGPUGPU is gFn→gFn.
+	EdgeGPUGPU EdgeKind = iota
+	// EdgeGPUHost is any edge with exactly one GPU endpoint.
+	EdgeGPUHost
+	// EdgeCPUCPU is cFn→cFn.
+	EdgeCPUCPU
+)
+
+// App is one deployed workflow application.
+type App struct {
+	C         *Cluster
+	WF        *workflow.Workflow
+	Batch     int
+	Placement scheduler.Placement
+	// SLO is the workflow-level objective (SLOScale × standalone critical
+	// path).
+	SLO time.Duration
+
+	// E2E records request latencies; XferGPU/XferHost/Compute record the
+	// per-request sums of gFn-gFn passing, gFn-host passing, and compute.
+	E2E      metrics.Latency
+	XferGPU  metrics.Latency
+	XferHost metrics.Latency
+	Compute  metrics.Latency
+
+	Completed int
+	seedBase  int64
+
+	// Cold configures serverless provisioning (disabled = pre-warmed, the
+	// paper's default per §5).
+	Cold       ColdStartPolicy
+	instances  map[instKey]*instanceState
+	coldStarts int64
+
+	// pools are per-stage instance pools managed by the autoscaler (nil
+	// until first use: one instance per stage from Placement).
+	pools       map[scheduler.StageInst][]fabric.Location
+	scaleEvents int64
+}
+
+// Deploy places wf's instances and returns the app. batch <= 0 uses the
+// workflow default.
+func (c *Cluster) Deploy(wf *workflow.Workflow, batch int, opt scheduler.Options) *App {
+	if err := wf.Validate(); err != nil {
+		panic(err)
+	}
+	if batch <= 0 {
+		batch = wf.Batch
+	}
+	app := &App{
+		C:         c,
+		WF:        wf,
+		Batch:     batch,
+		Placement: c.Placer.Place(wf, opt),
+		seedBase:  opt.Seed,
+	}
+	scale := wf.SLOScale
+	if scale == 0 {
+		scale = 1.5
+	}
+	app.SLO = time.Duration(scale * float64(wf.StandaloneLatency(c.Class, batch)))
+	return app
+}
+
+// instIn describes one input a stage instance pulls.
+type instIn struct {
+	fut  *sim.Future[dataplane.DataRef]
+	prod scheduler.StageInst
+	kind EdgeKind
+}
+
+// Invoke starts one request now (at the app's deployed batch size) and
+// returns a signal fired at completion.
+func (a *App) Invoke() *sim.Signal { return a.InvokeBatch(a.Batch) }
+
+// InvokeBatch starts one request with an explicit batch size (used by the
+// adaptive batcher, which aggregates queued logical requests).
+func (a *App) InvokeBatch(batch int) *sim.Signal {
+	if batch <= 0 {
+		batch = a.Batch
+	}
+	c := a.C
+	c.seq++
+	seq := c.seq
+	done := sim.NewSignal(c.Engine)
+	start := c.Engine.Now()
+	rng := rand.New(rand.NewSource(a.seedBase + seq))
+
+	// Per-instance output futures.
+	outs := map[scheduler.StageInst]*sim.Future[dataplane.DataRef]{}
+	// Remaining consumer counts per producer instance, for Free.
+	refCount := map[scheduler.StageInst]*int{}
+	total := 0
+	for _, s := range a.WF.Stages {
+		for r := 0; r < s.ReplicaCount(); r++ {
+			si := scheduler.StageInst{Stage: s.Name, Replica: r}
+			outs[si] = sim.NewFuture[dataplane.DataRef](c.Engine)
+			n := 0
+			refCount[si] = &n
+			total++
+		}
+	}
+	// Count consumers.
+	for _, s := range a.WF.Stages {
+		for r := 0; r < s.ReplicaCount(); r++ {
+			for _, in := range a.inputsOf(s, r) {
+				(*refCount[in.prod])++
+			}
+		}
+	}
+
+	remaining := total
+	var xferGPU, xferHost, compute time.Duration
+
+	for _, s := range a.WF.Stages {
+		s := s
+		for r := 0; r < s.ReplicaCount(); r++ {
+			si := scheduler.StageInst{Stage: s.Name, Replica: r}
+			loc, poolIdx := a.instanceFor(si, seq)
+			name := fmt.Sprintf("%s/%s.%d", a.WF.Name, si, seq)
+			c.Engine.Go(name, func(p *sim.Proc) {
+				inputs := a.resolveInputs(p, s, r, outs)
+				skipped := rng.Float64() >= s.ProbOrOne()
+
+				lat := s.Model.Latency(c.Class, batch)
+				// GPU source stages fetch their request payload from host
+				// memory (I/O lands in the host-side store): the gFn-host
+				// ingress pattern of §2.2.
+				var ingress dataplane.DataRef
+				if len(s.Deps) == 0 && s.IsGPU() && !skipped {
+					ingressCtx := &dataplane.FnCtx{
+						Fn: a.WF.Name + "/ingress", Workflow: a.WF.Name,
+						Loc:         fabric.Location{Node: loc.Node, GPU: fabric.HostGPU},
+						ConsumerSeq: seq,
+					}
+					ref, err := c.Plane.Put(p, ingressCtx, s.Model.InBytes(batch))
+					if err != nil {
+						panic(err)
+					}
+					ingress = ref
+				}
+				ctx := &dataplane.FnCtx{
+					Fn:           a.WF.Name + "/" + s.Name,
+					Workflow:     a.WF.Name,
+					Loc:          loc,
+					SLO:          a.WF.StageSLO(s, c.Class, batch),
+					InferLatency: lat,
+					ConsumerSeq:  seq,
+				}
+
+				// A function instance occupies its compute slot for its whole
+				// activation — pulling inputs, computing, and publishing its
+				// output — matching time-multiplexed serverless GPU sharing,
+				// where a container's transfers run within its execution
+				// turn. Input futures are awaited *before* acquisition, so
+				// there is no hold-and-wait cycle.
+				out := dataplane.DataRef{}
+				if !skipped {
+					res := c.resourceAt(loc)
+					res.Acquire(p)
+					a.ensureWarm(p, si, poolIdx, s.Model.WeightsBytes)
+					if ingress.Bytes > 0 {
+						t0 := p.Now()
+						if err := c.Plane.Get(p, ctx, ingress); err != nil {
+							panic(err)
+						}
+						xferHost += p.Now() - t0
+						c.Plane.Free(ingress)
+					}
+					for _, in := range inputs {
+						if in.ref.Bytes == 0 {
+							continue
+						}
+						t0 := p.Now()
+						if err := c.Plane.Get(p, ctx, in.ref); err != nil {
+							panic(err)
+						}
+						dt := p.Now() - t0
+						switch in.kind {
+						case EdgeGPUGPU:
+							xferGPU += dt
+						case EdgeGPUHost:
+							xferHost += dt
+						}
+					}
+					p.Sleep(lat)
+					compute += lat
+					if len(a.WF.Consumers(s)) > 0 {
+						t0 := p.Now()
+						ref, err := c.Plane.Put(p, ctx, s.Model.OutBytes(batch))
+						if err != nil {
+							panic(err)
+						}
+						dt := p.Now() - t0
+						switch a.putKind(s) {
+						case EdgeGPUGPU:
+							xferGPU += dt
+						case EdgeGPUHost:
+							xferHost += dt
+						}
+						out = ref
+					}
+					res.Release()
+				}
+				// Release inputs whether consumed or skipped.
+				for _, in := range inputs {
+					cnt := refCount[in.prod]
+					*cnt--
+					if *cnt == 0 && in.ref.Bytes > 0 {
+						c.Plane.Free(in.ref)
+					}
+				}
+				outs[si].Resolve(out)
+				remaining--
+				if remaining == 0 {
+					a.E2E.Add(p.Now() - start)
+					a.XferGPU.Add(xferGPU)
+					a.XferHost.Add(xferHost)
+					a.Compute.Add(compute)
+					a.Completed++
+					done.Fire()
+				}
+			})
+		}
+	}
+	return done
+}
+
+// resolvedInput pairs a materialized ref with its edge classification.
+type resolvedInput struct {
+	ref  dataplane.DataRef
+	prod scheduler.StageInst
+	kind EdgeKind
+}
+
+// inputsOf lists the producer instances feeding replica r of stage s.
+func (a *App) inputsOf(s *workflow.Stage, r int) []instIn {
+	var out []instIn
+	for _, dn := range s.Deps {
+		d := a.WF.Stage(dn)
+		kind := edgeKind(d, s)
+		if d.ReplicaCount() == s.ReplicaCount() && s.ReplicaCount() > 1 {
+			out = append(out, instIn{prod: scheduler.StageInst{Stage: dn, Replica: r}, kind: kind})
+			continue
+		}
+		for i := 0; i < d.ReplicaCount(); i++ {
+			out = append(out, instIn{prod: scheduler.StageInst{Stage: dn, Replica: i}, kind: kind})
+		}
+	}
+	return out
+}
+
+// resolveInputs blocks until every dependency future resolves.
+func (a *App) resolveInputs(p *sim.Proc, s *workflow.Stage, r int,
+	outs map[scheduler.StageInst]*sim.Future[dataplane.DataRef]) []resolvedInput {
+	var out []resolvedInput
+	for _, in := range a.inputsOf(s, r) {
+		ref := outs[in.prod].Wait(p)
+		out = append(out, resolvedInput{ref: ref, prod: in.prod, kind: in.kind})
+	}
+	return out
+}
+
+// putKind classifies a producer's Put by its first consumer.
+func (a *App) putKind(s *workflow.Stage) EdgeKind {
+	cons := a.WF.Consumers(s)
+	if len(cons) == 0 {
+		return EdgeCPUCPU
+	}
+	return edgeKind(s, cons[0])
+}
+
+func edgeKind(from, to *workflow.Stage) EdgeKind {
+	switch {
+	case from.IsGPU() && to.IsGPU():
+		return EdgeGPUGPU
+	case !from.IsGPU() && !to.IsGPU():
+		return EdgeCPUCPU
+	default:
+		return EdgeGPUHost
+	}
+}
+
+func (c *Cluster) resourceAt(loc fabric.Location) *sim.Resource {
+	if loc.IsHost() {
+		return c.hosts[loc.Node]
+	}
+	return c.gpus[loc.Node][loc.GPU]
+}
+
+// RunTrace submits one request per arrival offset and returns when the
+// engine has drained (call from outside the engine; it runs the engine).
+func (a *App) RunTrace(arrivals []time.Duration) {
+	for _, at := range arrivals {
+		at := at
+		a.C.Engine.Schedule(at, func() { a.Invoke() })
+	}
+	a.C.Engine.Run(0)
+}
+
+// MeasureThroughput runs `concurrency` closed loops for dur of virtual time
+// and returns completed requests per second.
+func (a *App) MeasureThroughput(concurrency int, dur time.Duration) float64 {
+	e := a.C.Engine
+	base := e.Now()
+	before := a.Completed
+	for i := 0; i < concurrency; i++ {
+		e.Go(fmt.Sprintf("loop-%d", i), func(p *sim.Proc) {
+			for p.Now()-base < dur {
+				a.Invoke().Wait(p)
+			}
+		})
+	}
+	e.Run(base + dur)
+	elapsed := e.Now() - base
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(a.Completed-before) / elapsed.Seconds()
+}
+
+// SLOCompliance returns the fraction of completed requests within the app's
+// SLO.
+func (a *App) SLOCompliance() float64 { return a.E2E.FractionUnder(a.SLO) }
+
+// Spec returns the cluster's topology spec.
+func (c *Cluster) Spec() *topology.Spec { return c.Fabric.Spec() }

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/baselines"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func grouterPlane(f *fabric.Fabric) dataplane.Plane { return core.New(f, core.FullConfig()) }
+func inflessPlane(f *fabric.Fabric) dataplane.Plane { return baselines.NewINFless(f) }
+
+func runOne(t *testing.T, mk func(*fabric.Fabric) dataplane.Plane, wf *workflow.Workflow) *App {
+	t.Helper()
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, mk)
+	app := c.Deploy(wf, 0, scheduler.Options{Node: -1})
+	e.Go("driver", func(p *sim.Proc) {
+		app.Invoke().Wait(p)
+	})
+	e.Run(0)
+	return app
+}
+
+func TestAllWorkflowsCompleteOnAllPlanes(t *testing.T) {
+	planes := map[string]func(*fabric.Fabric) dataplane.Plane{
+		"grouter":  grouterPlane,
+		"infless+": inflessPlane,
+		"nvshmem+": func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, 5) },
+		"deepplan": func(f *fabric.Fabric) dataplane.Plane { return baselines.NewDeepPlan(f, 5) },
+	}
+	for name, mk := range planes {
+		for _, wf := range workflow.Suite() {
+			app := runOne(t, mk, wf)
+			if app.Completed != 1 {
+				t.Errorf("%s/%s: completed %d requests, want 1", name, wf.Name, app.Completed)
+			}
+			if app.E2E.Count() != 1 || app.E2E.Mean() <= 0 {
+				t.Errorf("%s/%s: bad E2E metrics", name, wf.Name)
+			}
+		}
+	}
+}
+
+func TestGrouterBeatsINFlessEndToEnd(t *testing.T) {
+	for _, wf := range workflow.Suite() {
+		g := runOne(t, grouterPlane, wf)
+		inf := runOne(t, inflessPlane, wf)
+		if !(g.E2E.Mean() < inf.E2E.Mean()) {
+			t.Errorf("%s: grouter %v not faster than infless+ %v", wf.Name, g.E2E.Mean(), inf.E2E.Mean())
+		}
+	}
+}
+
+func TestHostCentricDataPassingDominates(t *testing.T) {
+	// Fig. 3: on INFless+ the data-passing share of (passing+compute) is
+	// large for transfer-heavy workflows.
+	app := runOne(t, inflessPlane, workflow.Traffic())
+	pass := app.XferGPU.Mean() + app.XferHost.Mean()
+	comp := app.Compute.Mean()
+	frac := pass.Seconds() / (pass + comp).Seconds()
+	if frac < 0.5 {
+		t.Errorf("INFless+ traffic data-passing fraction = %.2f, want > 0.5", frac)
+	}
+	// GROUTER flips the balance.
+	g := runOne(t, grouterPlane, workflow.Traffic())
+	gpass := g.XferGPU.Mean() + g.XferHost.Mean()
+	gfrac := gpass.Seconds() / (gpass + g.Compute.Mean()).Seconds()
+	if gfrac >= frac {
+		t.Errorf("grouter passing fraction %.2f not below infless+ %.2f", gfrac, frac)
+	}
+}
+
+func TestConditionalStagesSometimesSkip(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: -1, Seed: 3})
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			app.Invoke().Wait(p)
+		}
+	})
+	e.Run(0)
+	if app.Completed != 20 {
+		t.Fatalf("completed %d, want 20", app.Completed)
+	}
+	// With prob 0.7/0.8 sinks, some requests skip at least one recognizer,
+	// so per-request compute varies.
+	samples := app.Compute.Samples()
+	allSame := true
+	for _, s := range samples[1:] {
+		if s != samples[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("conditional branches never varied over 20 requests")
+	}
+}
+
+func TestTraceDrivenRun(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+	arrivals := trace.Generate(trace.Spec{
+		Pattern: trace.Bursty, Duration: 10 * time.Second, MeanRPS: 4, Seed: 9,
+	})
+	app.RunTrace(arrivals)
+	if app.Completed != len(arrivals) {
+		t.Errorf("completed %d of %d traced requests", app.Completed, len(arrivals))
+	}
+	if app.E2E.P(0.99) <= 0 {
+		t.Error("no P99 recorded")
+	}
+}
+
+func TestThroughputMeasurement(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+	tput := app.MeasureThroughput(4, 5*time.Second)
+	if tput <= 0 {
+		t.Fatalf("throughput = %f", tput)
+	}
+	// Sanity: cannot exceed the single-GPU compute bound by much.
+	lat := workflow.Driving().StandaloneLatency(c.Class, workflow.Driving().Batch)
+	bound := 8 / lat.Seconds() * 4 // 8 GPUs, generous factor
+	if tput > bound {
+		t.Errorf("throughput %f exceeds physical bound %f", tput, bound)
+	}
+}
+
+func TestSLOComplianceUnderLoad(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			app.Invoke().Wait(p)
+		}
+	})
+	e.Run(0)
+	if got := app.SLOCompliance(); got < 0 || got > 1 {
+		t.Errorf("compliance = %f out of range", got)
+	}
+}
+
+func TestSqueezeGPUMemory(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	c.SqueezeGPUMemory(1 << 30)
+	for _, dev := range c.Fabric.NodeF(0).GPUs {
+		if dev.Free() != 1<<30 {
+			t.Errorf("device %s free = %d, want 1 GiB", dev.Name, dev.Free())
+		}
+	}
+}
+
+func TestCrossNodeDeploymentCompletes(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 2, grouterPlane)
+	app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: -1, SplitAcrossNodes: true})
+	e.Go("driver", func(p *sim.Proc) { app.Invoke().Wait(p) })
+	e.Run(0)
+	if app.Completed != 1 {
+		t.Fatalf("cross-node request did not complete")
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"time"
+
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/xfer"
+)
+
+// ColdStartPolicy models serverless function provisioning. The paper's
+// deployments pre-warm functions and models (§5, following SHEPHERD), which
+// is the default here (Enabled=false ⇒ everything is always warm); enabling
+// it lets experiments quantify what pre-warming buys.
+type ColdStartPolicy struct {
+	// Enabled turns cold starts on.
+	Enabled bool
+	// ContainerLatency is the container/runtime launch cost of a cold start
+	// (sandbox boot, CUDA context creation).
+	ContainerLatency time.Duration
+	// KeepAlive is how long an idle instance stays warm.
+	KeepAlive time.Duration
+	// Prewarm starts every instance warm at deployment.
+	Prewarm bool
+}
+
+// DefaultColdStart returns a realistic cold-start model for GPU functions.
+func DefaultColdStart() ColdStartPolicy {
+	return ColdStartPolicy{
+		Enabled:          true,
+		ContainerLatency: 800 * time.Millisecond,
+		KeepAlive:        30 * time.Second,
+		Prewarm:          false,
+	}
+}
+
+// instanceState tracks one function instance's warmth.
+type instanceState struct {
+	warm     bool
+	lastUsed time.Duration
+}
+
+// instKey identifies one pool replica of one stage instance.
+type instKey struct {
+	si  scheduler.StageInst
+	idx int
+}
+
+// SetColdStart configures the app's provisioning model; call before the
+// first Invoke.
+func (a *App) SetColdStart(p ColdStartPolicy) {
+	a.Cold = p
+	a.instances = make(map[instKey]*instanceState)
+	for _, s := range a.WF.Stages {
+		for r := 0; r < s.ReplicaCount(); r++ {
+			si := scheduler.StageInst{Stage: s.Name, Replica: r}
+			for idx := range a.poolOf(si) {
+				a.instances[instKey{si, idx}] = &instanceState{warm: p.Prewarm}
+			}
+		}
+	}
+}
+
+// ColdStarts returns how many cold starts the app has paid.
+func (a *App) ColdStarts() int64 { return a.coldStarts }
+
+// ensureWarm pays the cold-start penalty if the instance is cold or its
+// keep-alive expired. It must run while the instance's compute slot is held.
+// Model weights load from host memory over the instance's local PCIe route
+// at full pinned bandwidth.
+func (a *App) ensureWarm(p *sim.Proc, si scheduler.StageInst, poolIdx int, weights int64) {
+	if !a.Cold.Enabled || a.instances == nil {
+		return
+	}
+	st := a.instances[instKey{si, poolIdx}]
+	if st == nil {
+		// Autoscaled instance created after SetColdStart: starts cold.
+		st = &instanceState{}
+		a.instances[instKey{si, poolIdx}] = st
+	}
+	now := p.Now()
+	if st.warm && a.Cold.KeepAlive > 0 && now-st.lastUsed > a.Cold.KeepAlive {
+		st.warm = false
+	}
+	if !st.warm {
+		p.Sleep(a.Cold.ContainerLatency)
+		if weights > 0 {
+			loc := a.poolOf(si)[poolIdx]
+			if !loc.IsHost() {
+				topo := a.C.Fabric.Topo(loc.Node)
+				a.C.xm.Transfer(p, xfer.Request{
+					Label: "model-load:" + si.Stage,
+					Bytes: weights,
+					Paths: []xfer.Path{xfer.PathOf(a.C.Fabric.Net, topo.HostToGPULinks(loc.GPU))},
+				})
+			}
+		}
+		st.warm = true
+		a.coldStarts++
+	}
+	st.lastUsed = p.Now()
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/workflow"
+)
+
+func TestColdStartPenaltyAndWarmReuse(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.SetColdStart(ColdStartPolicy{
+		Enabled:          true,
+		ContainerLatency: 500 * time.Millisecond,
+		KeepAlive:        10 * time.Second,
+	})
+	e.Go("driver", func(p *sim.Proc) {
+		app.Invoke().Wait(p) // cold
+		app.Invoke().Wait(p) // warm
+	})
+	e.Run(0)
+	if app.Completed != 2 {
+		t.Fatalf("completed %d", app.Completed)
+	}
+	// Driving has 3 GPU stages: exactly 3 cold starts, paid once.
+	if got := app.ColdStarts(); got != 3 {
+		t.Errorf("cold starts = %d, want 3", got)
+	}
+	samples := app.E2E.Samples()
+	cold, warm := samples[len(samples)-1], samples[0]
+	if !(cold > warm+time.Second) {
+		t.Errorf("cold request %v should exceed warm %v by container+load time", cold, warm)
+	}
+}
+
+func TestKeepAliveExpiryRecolds(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.SetColdStart(ColdStartPolicy{
+		Enabled:          true,
+		ContainerLatency: 100 * time.Millisecond,
+		KeepAlive:        time.Second,
+	})
+	e.Go("driver", func(p *sim.Proc) {
+		app.Invoke().Wait(p)
+		p.Sleep(5 * time.Second) // idle beyond keep-alive
+		app.Invoke().Wait(p)
+	})
+	e.Run(0)
+	if got := app.ColdStarts(); got != 6 {
+		t.Errorf("cold starts = %d, want 6 (3 stages × 2 cold rounds)", got)
+	}
+}
+
+func TestPrewarmAvoidsColdStarts(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.SetColdStart(ColdStartPolicy{
+		Enabled:          true,
+		ContainerLatency: 500 * time.Millisecond,
+		KeepAlive:        time.Minute,
+		Prewarm:          true,
+	})
+	e.Go("driver", func(p *sim.Proc) { app.Invoke().Wait(p) })
+	e.Run(0)
+	if got := app.ColdStarts(); got != 0 {
+		t.Errorf("cold starts with pre-warming = %d, want 0", got)
+	}
+}
+
+func TestDefaultIsAlwaysWarm(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	e.Go("driver", func(p *sim.Proc) { app.Invoke().Wait(p) })
+	e.Run(0)
+	if got := app.ColdStarts(); got != 0 {
+		t.Errorf("cold starts without policy = %d, want 0", got)
+	}
+}
+
+func TestDefaultColdStartValues(t *testing.T) {
+	p := DefaultColdStart()
+	if !p.Enabled || p.ContainerLatency <= 0 || p.KeepAlive <= 0 || p.Prewarm {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+}

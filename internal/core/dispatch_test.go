@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// moveLatency measures one warm Put+Get between two locations under full
+// GROUTER on the given spec.
+func moveLatency(t *testing.T, spec *topology.Spec, nodes int, src, dst fabric.Location, bytes int64) (time.Duration, dataplane.Stats) {
+	t.Helper()
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, spec, nodes)
+	pl := New(f, FullConfig())
+	var elapsed time.Duration
+	e.Go("move", func(p *sim.Proc) {
+		up := &dataplane.FnCtx{Fn: "up", Workflow: "wf", Loc: src}
+		down := &dataplane.FnCtx{Fn: "down", Workflow: "wf", Loc: dst}
+		once := func() {
+			ref, err := pl.Put(p, up, bytes)
+			if err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			if err := pl.Get(p, down, ref); err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			pl.Free(ref)
+		}
+		once()
+		start := p.Now()
+		once()
+		elapsed = p.Now() - start
+	})
+	e.Run(0)
+	return elapsed, *pl.Stats()
+}
+
+// TestDispatchAllPatterns exercises every branch of move(): each pattern the
+// data plane supports must complete and leave no residue.
+func TestDispatchAllPatterns(t *testing.T) {
+	host0 := fabric.Location{Node: 0, GPU: fabric.HostGPU}
+	host1 := fabric.Location{Node: 1, GPU: fabric.HostGPU}
+	cases := []struct {
+		name     string
+		src, dst fabric.Location
+		nodes    int
+	}{
+		{"same gpu", fabric.Location{Node: 0, GPU: 2}, fabric.Location{Node: 0, GPU: 2}, 1},
+		{"nvlink pair", fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 0, GPU: 3}, 1},
+		{"weak pair (indirect nvlink)", fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 0, GPU: 5}, 1},
+		{"gpu to local host", fabric.Location{Node: 0, GPU: 1}, host0, 1},
+		{"local host to gpu", host0, fabric.Location{Node: 0, GPU: 1}, 1},
+		{"cross-node gpus", fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 1, GPU: 7}, 2},
+		{"host to remote gpu", host0, fabric.Location{Node: 1, GPU: 3}, 2},
+		{"gpu to remote host", fabric.Location{Node: 0, GPU: 3}, host1, 2},
+		{"host to remote host", host0, host1, 2},
+	}
+	for _, c := range cases {
+		lat, st := moveLatency(t, topology.DGXV100(), c.nodes, c.src, c.dst, 32<<20)
+		if lat <= 0 {
+			t.Errorf("%s: zero latency", c.name)
+		}
+		if st.Puts != 2 || st.Gets != 2 {
+			t.Errorf("%s: puts/gets = %d/%d", c.name, st.Puts, st.Gets)
+		}
+	}
+}
+
+// TestDispatchOrderingSanity encodes physical sense: same-GPU < NVLink <
+// PCIe p2p (weak pair beats PCIe via multipath NVLink) < cross-node.
+func TestDispatchOrderingSanity(t *testing.T) {
+	const bytes = 128 << 20
+	same, _ := moveLatency(t, topology.DGXV100(), 1, fabric.Location{Node: 0, GPU: 2}, fabric.Location{Node: 0, GPU: 2}, bytes)
+	nv, _ := moveLatency(t, topology.DGXV100(), 1, fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 0, GPU: 3}, bytes)
+	weak, _ := moveLatency(t, topology.DGXV100(), 1, fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 0, GPU: 5}, bytes)
+	cross, _ := moveLatency(t, topology.DGXV100(), 2, fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 1, GPU: 7}, bytes)
+	if !(same < nv && nv <= weak && weak < cross) {
+		t.Errorf("ordering violated: same=%v nvlink=%v weak=%v cross=%v", same, nv, weak, cross)
+	}
+}
+
+// TestSwitchedFabricDispatch runs key patterns on the NVSwitch topology.
+func TestSwitchedFabricDispatch(t *testing.T) {
+	lat, st := moveLatency(t, topology.DGXA100(), 1, fabric.Location{Node: 0, GPU: 1}, fabric.Location{Node: 0, GPU: 6}, 256<<20)
+	if st.Copies != 2 { // one per measured+warmup exchange
+		t.Errorf("copies = %d, want 2", st.Copies)
+	}
+	// 256 MiB at 300 GB/s ≈ 0.9 ms plus overheads.
+	if lat > 3*time.Millisecond {
+		t.Errorf("NVSwitch transfer took %v, want ~1ms", lat)
+	}
+}
+
+// TestH800Dispatch covers the LLM testbed spec through the generic plane.
+func TestH800Dispatch(t *testing.T) {
+	lat, _ := moveLatency(t, topology.H800x8(), 2, fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 1, GPU: 0}, 512<<20)
+	if lat <= 0 || lat > 200*time.Millisecond {
+		t.Errorf("H800 cross-node transfer = %v", lat)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// exhaustHost leaves only `leave` bytes of host memory on node n.
+func exhaustHost(t *testing.T, f *fabric.Fabric, n int, leave int64) {
+	t.Helper()
+	host := f.NodeF(n).Host
+	if _, err := host.Alloc(host.Free() - leave); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutFailsWhenHostAndGPUExhausted(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	// Squeeze every GPU to nothing and host to almost nothing: a large Put
+	// can neither be stored on GPU nor spilled.
+	for _, dev := range f.NodeF(0).GPUs {
+		if _, err := dev.Alloc(dev.Free()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exhaustHost(t, f, 0, 1<<20)
+	e.Go("oom", func(p *sim.Proc) {
+		ctx := &dataplane.FnCtx{Fn: "f", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 0}}
+		if _, err := pl.Put(p, ctx, 256<<20); err == nil {
+			t.Error("Put with no memory anywhere should fail")
+		}
+	})
+	e.Run(0)
+}
+
+func TestPutSpillsWhenOnlyGPUExhausted(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	for _, dev := range f.NodeF(0).GPUs {
+		if _, err := dev.Alloc(dev.Free()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Go("spill", func(p *sim.Proc) {
+		prod := &dataplane.FnCtx{Fn: "f", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 0}}
+		ref, err := pl.Put(p, prod, 64<<20)
+		if err != nil {
+			t.Errorf("Put should spill to host, got %v", err)
+			return
+		}
+		// The consumer still reads the data (from host, over PCIe).
+		cons := &dataplane.FnCtx{Fn: "g", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 3}}
+		if err := pl.Get(p, cons, ref); err != nil {
+			t.Errorf("Get of spilled data: %v", err)
+		}
+		pl.Free(ref)
+	})
+	e.Run(0)
+	if f.NodeF(0).Host.Used() != 0 {
+		t.Errorf("host bytes leaked after Free: %d", f.NodeF(0).Host.Used())
+	}
+}
+
+func TestFreeUnknownRefIsNoop(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	pl.Free(dataplane.DataRef{ID: 9999, Bytes: 1}) // must not panic
+}
+
+func TestNoMemoryLeakAcrossManyExchanges(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	e.Go("loop", func(p *sim.Proc) {
+		prod := &dataplane.FnCtx{Fn: "up", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 0}}
+		cons := &dataplane.FnCtx{Fn: "down", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 1}}
+		for i := 0; i < 200; i++ {
+			ref, err := pl.Put(p, prod, 32<<20)
+			if err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+			if err := pl.Get(p, cons, ref); err != nil {
+				t.Errorf("Get %d: %v", i, err)
+				return
+			}
+			pl.Free(ref)
+		}
+	})
+	e.Run(0)
+	if used := pl.Store(0).TotalUsed(); used != 0 {
+		t.Errorf("storage leaks %d bytes after 200 exchanges", used)
+	}
+	if len(pl.recs) != 0 {
+		t.Errorf("%d records leaked", len(pl.recs))
+	}
+}
+
+func TestStatsAccumulateSanely(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	e.Go("stats", func(p *sim.Proc) {
+		prod := &dataplane.FnCtx{Fn: "up", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 0}}
+		cons := &dataplane.FnCtx{Fn: "down", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 2}}
+		for i := 0; i < 5; i++ {
+			ref, _ := pl.Put(p, prod, 8<<20)
+			_ = pl.Get(p, cons, ref)
+			pl.Free(ref)
+		}
+	})
+	e.Run(0)
+	st := pl.Stats()
+	if st.Puts != 5 || st.Gets != 5 {
+		t.Errorf("puts/gets = %d/%d, want 5/5", st.Puts, st.Gets)
+	}
+	if st.Copies != 5 {
+		t.Errorf("copies = %d, want 5 (one per Get)", st.Copies)
+	}
+	if st.BytesMoved != 5*(8<<20) {
+		t.Errorf("bytes moved = %d", st.BytesMoved)
+	}
+	if st.ControlOps == 0 || st.ControlCPU <= 0 {
+		t.Error("control-plane accounting empty")
+	}
+}

@@ -1,0 +1,373 @@
+// Package core implements GROUTER, the paper's GPU-centric serverless data
+// plane. It composes the unified data-passing framework (§4.2: placement
+// detection, global data IDs, locality-aware Put/Get), parallel transfers
+// with bandwidth harvesting (§4.3.1–4.3.2), topology-aware NVLink path
+// selection (§4.3.3), and elastic GPU storage (§4.4).
+//
+// Each optimization can be disabled independently through Config, which is
+// how the Fig. 16 ablation variants are built.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/harvest"
+	"grouter/internal/memsim"
+	"grouter/internal/netsim"
+	"grouter/internal/pathsel"
+	"grouter/internal/sim"
+	"grouter/internal/store"
+	"grouter/internal/topology"
+	"grouter/internal/xfer"
+)
+
+// Control-plane latency constants.
+const (
+	// LocalLookupLatency is a data-ID lookup served by the node-local table.
+	LocalLookupLatency = 2 * time.Microsecond
+	// GlobalLookupLatency is a miss served by the centralized table (§4.2.2).
+	GlobalLookupLatency = 20 * time.Microsecond
+	// MapLatency is sharing an already-resident buffer into a function's
+	// address space over CUDA IPC (zero-copy path).
+	MapLatency = 10 * time.Microsecond
+)
+
+// Config toggles GROUTER's four optimizations (§4.1); the full system has
+// all four enabled.
+type Config struct {
+	// UnifiedFramework (UF) detects function placement and stores output on
+	// the producer's own GPU; disabled, storage is assigned to a random GPU
+	// (the placement-agnostic behaviour of §3.1).
+	UnifiedFramework bool
+	// BandwidthHarvest (BH) enables parallel PCIe/NIC transfers with
+	// SLO-aware rate partitioning.
+	BandwidthHarvest bool
+	// TopoAware (TA) enables Algorithm-1 NVLink path selection and the
+	// route-GPU exclusion rules.
+	TopoAware bool
+	// ElasticStore (ES) enables elastic pool scaling with queue-aware
+	// proactive migration; disabled, a static LRU pool is used.
+	ElasticStore bool
+	// NoRateControl keeps parallel transfers but removes SLO-aware rate
+	// partitioning (the GROUTER−BH variant of Fig. 17, which shares
+	// bandwidth like DeepPlan+).
+	NoRateControl bool
+
+	// StoreOverride replaces the derived storage configuration (used by the
+	// Fig. 18 policy comparison).
+	StoreOverride *store.Config
+	// StaticReserve sizes the per-GPU pool when ES is off.
+	StaticReserve int64
+	// Seed drives the random storage-GPU choice when UF is off.
+	Seed int64
+}
+
+// FullConfig returns the complete GROUTER system.
+func FullConfig() Config {
+	return Config{UnifiedFramework: true, BandwidthHarvest: true, TopoAware: true, ElasticStore: true}
+}
+
+// ErrAccessDenied is returned when a function from another workflow tries
+// to read a data item (§7: every access is authenticated by function and
+// workflow ID).
+var ErrAccessDenied = errors.New("grouter: access denied")
+
+// rec tracks one stored object in the plane's global table.
+type rec struct {
+	node    int
+	it      *store.Item   // set when the object lives in a GPU store
+	hostBlk *memsim.Block // set when the object is host-resident (cFn output)
+	bytes   int64
+	// workflow is the owning workflow ID for access control.
+	workflow string
+}
+
+// Plane is the GROUTER data plane over a fabric.
+type Plane struct {
+	f   *fabric.Fabric
+	x   *xfer.Manager
+	cfg Config
+
+	stores []*store.Manager
+	sel    []*pathsel.Selector
+
+	recs   map[dataplane.DataID]*rec
+	nextID dataplane.DataID
+	rng    *rand.Rand
+	// localTables[n] holds the data IDs whose metadata has been synchronized
+	// to node n (§4.2.2/§7: lookups hit the local table, falling back to the
+	// global table once and caching the result).
+	localTables []map[dataplane.DataID]bool
+
+	stats dataplane.Stats
+}
+
+var _ dataplane.Plane = (*Plane)(nil)
+
+// New builds a GROUTER plane on f with the given configuration.
+func New(f *fabric.Fabric, cfg Config) *Plane {
+	pl := &Plane{
+		f:    f,
+		x:    xfer.NewManager(f),
+		cfg:  cfg,
+		recs: make(map[dataplane.DataID]*rec),
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	scfg := pl.storeConfig()
+	for n := range f.Nodes {
+		pl.stores = append(pl.stores, store.NewManager(f.Engine, f.Nodes[n], &migrator{pl: pl, node: n}, scfg))
+		pl.sel = append(pl.sel, pathsel.New(f.Topo(n)))
+		pl.localTables = append(pl.localTables, make(map[dataplane.DataID]bool))
+	}
+	return pl
+}
+
+func (pl *Plane) storeConfig() store.Config {
+	if pl.cfg.StoreOverride != nil {
+		return *pl.cfg.StoreOverride
+	}
+	if pl.cfg.ElasticStore {
+		return store.Config{Elastic: true, Policy: store.PolicyRQProactive}
+	}
+	reserve := pl.cfg.StaticReserve
+	if reserve == 0 {
+		reserve = 2 * topology.GB
+	}
+	return store.Config{Elastic: false, StaticReserve: reserve, Policy: store.PolicyLRU}
+}
+
+// Name identifies the plane, including any disabled optimizations.
+func (pl *Plane) Name() string {
+	name := "grouter"
+	if !pl.cfg.ElasticStore {
+		name += "-ES"
+	}
+	if !pl.cfg.TopoAware {
+		name += "-TA"
+	}
+	if !pl.cfg.BandwidthHarvest {
+		name += "-BH"
+	}
+	if !pl.cfg.UnifiedFramework {
+		name += "-UF"
+	}
+	return name
+}
+
+// Stats returns the plane's counters.
+func (pl *Plane) Stats() *dataplane.Stats { return &pl.stats }
+
+// Store returns node n's storage manager (for experiments).
+func (pl *Plane) Store(n int) *store.Manager { return pl.stores[n] }
+
+// Put stores ctx's output. With the unified framework the data stays where
+// it was produced (zero copy); without it a random GPU store receives a copy.
+func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.DataRef, error) {
+	pl.stats.Puts++
+	pl.stats.AddControl(1, LocalLookupLatency)
+	pl.nextID++
+	id := pl.nextID
+	node := ctx.Loc.Node
+
+	if ctx.Loc.IsHost() {
+		blk, err := pl.f.NodeF(node).Host.Alloc(bytes)
+		if err != nil {
+			return dataplane.DataRef{}, fmt.Errorf("grouter: host put: %w", err)
+		}
+		p.Sleep(memsim.PoolAllocLatency)
+		pl.recs[id] = &rec{node: node, hostBlk: blk, bytes: bytes, workflow: ctx.Workflow}
+		pl.localTables[node][id] = true
+		return dataplane.DataRef{ID: id, Bytes: bytes}, nil
+	}
+
+	gpu := ctx.Loc.GPU
+	if !pl.cfg.UnifiedFramework {
+		gpu = pl.rng.Intn(pl.f.Spec().NumGPUs)
+	}
+	it, err := pl.stores[node].Put(p, ctx, gpu, bytes)
+	if err != nil {
+		return dataplane.DataRef{}, err
+	}
+	if gpu != ctx.Loc.GPU || it.OnHost {
+		// Placement-agnostic storage: the output must be copied from the
+		// producer's GPU into the store.
+		dst := fabric.Location{Node: node, GPU: gpu}
+		if it.OnHost {
+			dst = fabric.Location{Node: node, GPU: fabric.HostGPU}
+		}
+		if dst != ctx.Loc {
+			pl.move(p, ctx, ctx.Loc, dst, bytes, fmt.Sprintf("put:%s", ctx.Fn))
+		}
+	}
+	pl.recs[id] = &rec{node: node, it: it, bytes: bytes, workflow: ctx.Workflow}
+	pl.localTables[node][id] = true
+	return dataplane.DataRef{ID: id, Bytes: bytes}, nil
+}
+
+// Get makes ref available at ctx.Loc, choosing the transfer pattern from the
+// data's current location (§4.2.2).
+func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) error {
+	r := pl.recs[ref.ID]
+	if r == nil {
+		return fmt.Errorf("grouter: unknown data id %d", ref.ID)
+	}
+	// Authenticate the requesting function: data items are readable only
+	// within their owning workflow (§7).
+	if r.workflow != "" && ctx.Workflow != r.workflow {
+		pl.stats.AddControl(1, LocalLookupLatency)
+		return fmt.Errorf("%w: workflow %q cannot read data of %q", ErrAccessDenied, ctx.Workflow, r.workflow)
+	}
+	pl.stats.Gets++
+	// Hierarchical lookup: the node-local table answers when the metadata
+	// has been synchronized; the first remote access pays the global table
+	// and caches locally.
+	if pl.localTables[ctx.Loc.Node][ref.ID] {
+		pl.stats.AddControl(1, LocalLookupLatency)
+		p.Sleep(LocalLookupLatency)
+	} else {
+		pl.stats.AddControl(1, GlobalLookupLatency)
+		p.Sleep(GlobalLookupLatency)
+		pl.localTables[ctx.Loc.Node][ref.ID] = true
+	}
+
+	src := pl.locate(r)
+	if r.it != nil {
+		pl.stores[r.node].Touch(r.it, p.Now())
+	}
+	if src == ctx.Loc {
+		p.Sleep(MapLatency) // zero-copy IPC mapping
+		return nil
+	}
+	pl.move(p, ctx, src, ctx.Loc, r.bytes, fmt.Sprintf("get:%s", ctx.Fn))
+	return nil
+}
+
+// locate returns the object's current physical location.
+func (pl *Plane) locate(r *rec) fabric.Location {
+	if r.hostBlk != nil || (r.it != nil && r.it.OnHost) {
+		return fabric.Location{Node: r.node, GPU: fabric.HostGPU}
+	}
+	return fabric.Location{Node: r.node, GPU: r.it.GPU}
+}
+
+// Free drops the object.
+func (pl *Plane) Free(ref dataplane.DataRef) {
+	r := pl.recs[ref.ID]
+	if r == nil {
+		return
+	}
+	delete(pl.recs, ref.ID)
+	for _, tbl := range pl.localTables {
+		delete(tbl, ref.ID)
+	}
+	pl.stats.AddControl(1, LocalLookupLatency)
+	if r.hostBlk != nil {
+		r.hostBlk.Free()
+		return
+	}
+	pl.stores[r.node].Free(r.it)
+}
+
+// harvestMode maps the BH/TA toggles to a harvesting mode. The GROUTER−BH
+// variant (NoRateControl) shares links the way DeepPlan+ does: parallel
+// paths without idle-link selection or partitioning.
+func (pl *Plane) harvestMode() harvest.Mode {
+	if !pl.cfg.BandwidthHarvest {
+		return harvest.ModeOff
+	}
+	if pl.cfg.TopoAware && !pl.cfg.NoRateControl {
+		return harvest.ModeTopoAware
+	}
+	return harvest.ModeNaive
+}
+
+// rateOpts builds SLO rate-control options when harvesting is enabled.
+func (pl *Plane) rateOpts(ctx *dataplane.FnCtx, bytes int64) netsim.Options {
+	if !pl.cfg.BandwidthHarvest || pl.cfg.NoRateControl || ctx == nil {
+		return netsim.Options{}
+	}
+	return harvest.Options(bytes, ctx.SLO, ctx.InferLatency)
+}
+
+// move executes one logical copy between locations using the configured
+// transfer strategies.
+func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Location, bytes int64, label string) {
+	pl.stats.Copies++
+	pl.stats.BytesMoved += bytes
+	req := xfer.Request{Label: label, Bytes: bytes, Opt: pl.rateOpts(ctx, bytes)}
+
+	switch {
+	case src.Node == dst.Node && !src.IsHost() && !dst.IsHost():
+		// Intra-node gFn-gFn: parallel NVLink paths when topology-aware.
+		if pl.cfg.TopoAware {
+			if a := pl.sel[src.Node].Select(src.GPU, dst.GPU, 0); a != nil {
+				p.Sleep(pathsel.SelectLatency)
+				pl.stats.AddControl(1, pathsel.SelectLatency)
+				links := pl.sel[src.Node].Links(a)
+				for i, ls := range links {
+					req.Paths = append(req.Paths, xfer.Path{Links: ls, Bps: a.BWs[i]})
+				}
+				pl.x.Transfer(p, req)
+				pl.sel[src.Node].Release(a)
+				return
+			}
+		}
+		links, _ := pl.f.SinglePath(src, dst)
+		req.Paths = []xfer.Path{xfer.PathOf(pl.f.Net, links)}
+		pl.x.Transfer(p, req)
+
+	case src.Node == dst.Node && src.IsHost():
+		// gFn-host (inbound): parallel PCIe staging through the pinned ring.
+		for _, ls := range harvest.HostToGPUPaths(pl.f.Topo(src.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
+			req.Paths = append(req.Paths, xfer.PathOf(pl.f.Net, ls))
+		}
+		req.Pinned = pl.f.NodeF(src.Node).Pinned
+		pl.x.Transfer(p, req)
+
+	case src.Node == dst.Node && dst.IsHost():
+		for _, ls := range harvest.GPUToHostPaths(pl.f.Topo(src.Node), src.GPU, pl.harvestMode(), pl.f.Net) {
+			req.Paths = append(req.Paths, xfer.PathOf(pl.f.Net, ls))
+		}
+		req.Pinned = pl.f.NodeF(src.Node).Pinned
+		pl.x.Transfer(p, req)
+
+	case !src.IsHost() && !dst.IsHost():
+		// Cross-node gFn-gFn: GDR, multiple NICs when harvesting.
+		for _, ls := range harvest.CrossNodePaths(pl.f.Topo(src.Node), src.GPU, pl.f.Topo(dst.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
+			req.Paths = append(req.Paths, xfer.PathOf(pl.f.Net, ls))
+		}
+		pl.x.Transfer(p, req)
+
+	default:
+		// Host-involved cross-node: single host-mediated path.
+		links, hostStack := pl.f.SinglePath(src, dst)
+		req.Paths = []xfer.Path{xfer.PathOf(pl.f.Net, links)}
+		req.HostStack = hostStack
+		pl.x.Transfer(p, req)
+	}
+}
+
+// migrator adapts the plane's transfer machinery to the store's Migrator
+// interface: GROUTER migrates over harvested PCIe paths, ablated variants
+// over the single local link.
+type migrator struct {
+	pl   *Plane
+	node int
+}
+
+func (m *migrator) ToHost(p *sim.Proc, gpu int, bytes int64) {
+	src := fabric.Location{Node: m.node, GPU: gpu}
+	dst := fabric.Location{Node: m.node, GPU: fabric.HostGPU}
+	m.pl.move(p, nil, src, dst, bytes, "migrate-out")
+}
+
+func (m *migrator) ToGPU(p *sim.Proc, gpu int, bytes int64) {
+	src := fabric.Location{Node: m.node, GPU: fabric.HostGPU}
+	dst := fabric.Location{Node: m.node, GPU: gpu}
+	m.pl.move(p, nil, src, dst, bytes, "migrate-in")
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/baselines"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+const MB = int64(1) << 20
+
+// passData runs a warm-up exchange and then `rounds` measured Put+Get
+// exchanges between src and dst, returning the mean data-passing latency and
+// the stats accumulated over the measured rounds only.
+func passDataN(t *testing.T, mk func(f *fabric.Fabric) dataplane.Plane, spec *topology.Spec, nodes int,
+	src, dst fabric.Location, bytes int64, rounds int) (time.Duration, dataplane.Stats) {
+	t.Helper()
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, spec, nodes)
+	pl := mk(f)
+	var elapsed time.Duration
+	var stats dataplane.Stats
+	e.Go("pass", func(p *sim.Proc) {
+		prod := &dataplane.FnCtx{Fn: "up", Workflow: "wf", Loc: src}
+		cons := &dataplane.FnCtx{Fn: "down", Workflow: "wf", Loc: dst}
+		once := func() bool {
+			ref, err := pl.Put(p, prod, bytes)
+			if err != nil {
+				t.Errorf("Put: %v", err)
+				return false
+			}
+			if err := pl.Get(p, cons, ref); err != nil {
+				t.Errorf("Get: %v", err)
+				return false
+			}
+			pl.Free(ref)
+			return true
+		}
+		if !once() { // warm the pools
+			return
+		}
+		before := *pl.Stats()
+		start := p.Now()
+		for i := 0; i < rounds; i++ {
+			if !once() {
+				return
+			}
+		}
+		elapsed = (p.Now() - start) / time.Duration(rounds)
+		after := *pl.Stats()
+		stats = dataplane.Stats{
+			Puts: after.Puts - before.Puts, Gets: after.Gets - before.Gets,
+			Copies: after.Copies - before.Copies, BytesMoved: after.BytesMoved - before.BytesMoved,
+			ControlOps: after.ControlOps - before.ControlOps,
+		}
+	})
+	e.Run(0)
+	return elapsed, stats
+}
+
+// passData is passDataN with a single measured round.
+func passData(t *testing.T, mk func(f *fabric.Fabric) dataplane.Plane, spec *topology.Spec, nodes int,
+	src, dst fabric.Location, bytes int64) (time.Duration, dataplane.Stats) {
+	t.Helper()
+	return passDataN(t, mk, spec, nodes, src, dst, bytes, 1)
+}
+
+func grouterFull(f *fabric.Fabric) dataplane.Plane { return New(f, FullConfig()) }
+
+func TestSameGPUZeroCopy(t *testing.T) {
+	loc := fabric.Location{Node: 0, GPU: 3}
+	lat, st := passData(t, grouterFull, topology.DGXV100(), 1, loc, loc, 64*MB)
+	if st.Copies != 0 {
+		t.Errorf("same-GPU exchange made %d copies, want 0", st.Copies)
+	}
+	if lat > 100*time.Microsecond {
+		t.Errorf("warm zero-copy latency = %v, want µs-scale", lat)
+	}
+}
+
+func TestIntraNodeBeatBaselines(t *testing.T) {
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 0, GPU: 3}
+	size := 256 * MB
+	g, gst := passData(t, grouterFull, topology.DGXV100(), 1, src, dst, size)
+	nv, nvst := passData(t, func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, 1) },
+		topology.DGXV100(), 1, src, dst, size)
+	inf, _ := passData(t, func(f *fabric.Fabric) dataplane.Plane { return baselines.NewINFless(f) },
+		topology.DGXV100(), 1, src, dst, size)
+	if !(g < nv && nv < inf) {
+		t.Errorf("latency order wrong: grouter=%v nvshmem+=%v infless+=%v", g, nv, inf)
+	}
+	// Paper Fig. 13(a): ~95% reduction vs INFless+, ~75% vs NVSHMEM+.
+	if r := 1 - g.Seconds()/inf.Seconds(); r < 0.80 {
+		t.Errorf("reduction vs INFless+ = %.0f%%, want > 80%%", r*100)
+	}
+	if gst.Copies != 1 {
+		t.Errorf("grouter copies = %d, want 1", gst.Copies)
+	}
+	if nvst.Copies < 2 {
+		t.Errorf("nvshmem+ copies = %d, want >= 2 (placement-agnostic)", nvst.Copies)
+	}
+}
+
+func TestCrossNodeSingleCopyVsRelay(t *testing.T) {
+	src := fabric.Location{Node: 0, GPU: 2}
+	dst := fabric.Location{Node: 1, GPU: 5}
+	size := 128 * MB
+	g, gst := passData(t, grouterFull, topology.DGXV100(), 2, src, dst, size)
+	nv, nvst := passData(t, func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, 1) },
+		topology.DGXV100(), 2, src, dst, size)
+	if gst.Copies != 1 {
+		t.Errorf("grouter cross-node copies = %d, want 1 (direct GDR)", gst.Copies)
+	}
+	if nvst.Copies < 3 {
+		t.Errorf("nvshmem+ cross-node copies = %d, want >= 3 (store relay)", nvst.Copies)
+	}
+	if !(g < nv) {
+		t.Errorf("grouter %v not faster than nvshmem+ %v cross-node", g, nv)
+	}
+	// Paper Fig. 13(c): ~87% reduction vs NVSHMEM+.
+	if r := 1 - g.Seconds()/nv.Seconds(); r < 0.5 {
+		t.Errorf("cross-node reduction = %.0f%%, want > 50%%", r*100)
+	}
+}
+
+func TestHostToGPUUsesParallelPCIe(t *testing.T) {
+	src := fabric.Location{Node: 0, GPU: fabric.HostGPU}
+	dst := fabric.Location{Node: 0, GPU: 0}
+	size := 512 * MB
+	full, _ := passData(t, grouterFull, topology.DGXV100(), 1, src, dst, size)
+	noBH, _ := passData(t, func(f *fabric.Fabric) dataplane.Plane {
+		cfg := FullConfig()
+		cfg.BandwidthHarvest = false
+		return New(f, cfg)
+	}, topology.DGXV100(), 1, src, dst, size)
+	// Harvesting aggregates up to 4 PCIe links (own + 3 idle switches):
+	// expect a clear speedup over the single link.
+	speedup := noBH.Seconds() / full.Seconds()
+	if speedup < 2 {
+		t.Errorf("parallel PCIe speedup = %.2fx, want >= 2x (full=%v noBH=%v)", speedup, full, noBH)
+	}
+}
+
+func TestWeakPairMultipathBeatsDirectOnly(t *testing.T) {
+	// GPUs 0 and 1 share only a single NVLink brick (24 GB/s); multipath
+	// should beat the single direct path.
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 0, GPU: 1}
+	size := 512 * MB
+	full, _ := passData(t, grouterFull, topology.DGXV100(), 1, src, dst, size)
+	noTA, _ := passData(t, func(f *fabric.Fabric) dataplane.Plane {
+		cfg := FullConfig()
+		cfg.TopoAware = false
+		return New(f, cfg)
+	}, topology.DGXV100(), 1, src, dst, size)
+	if !(full < noTA) {
+		t.Errorf("topology-aware multipath %v not faster than direct-only %v", full, noTA)
+	}
+}
+
+func TestUFOffAddsCopies(t *testing.T) {
+	src := fabric.Location{Node: 0, GPU: 4}
+	dst := fabric.Location{Node: 0, GPU: 4}
+	_, full := passDataN(t, grouterFull, topology.DGXV100(), 1, src, dst, 64*MB, 8)
+	_, noUF := passDataN(t, func(f *fabric.Fabric) dataplane.Plane {
+		cfg := FullConfig()
+		cfg.UnifiedFramework = false
+		cfg.Seed = 7
+		return New(f, cfg)
+	}, topology.DGXV100(), 1, src, dst, 64*MB, 8)
+	if noUF.Copies <= full.Copies {
+		t.Errorf("UF-off copies = %d, want more than full's %d", noUF.Copies, full.Copies)
+	}
+}
+
+func TestCrossNodeMultiNICBeatsSingle(t *testing.T) {
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 1, GPU: 0}
+	size := 512 * MB
+	full, _ := passData(t, grouterFull, topology.DGXV100(), 2, src, dst, size)
+	noBH, _ := passData(t, func(f *fabric.Fabric) dataplane.Plane {
+		cfg := FullConfig()
+		cfg.BandwidthHarvest = false
+		return New(f, cfg)
+	}, topology.DGXV100(), 2, src, dst, size)
+	speedup := noBH.Seconds() / full.Seconds()
+	if speedup < 2 {
+		t.Errorf("multi-NIC speedup = %.2fx, want >= 2x", speedup)
+	}
+}
+
+func TestGetUnknownIDFails(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	e.Go("p", func(p *sim.Proc) {
+		ctx := &dataplane.FnCtx{Fn: "f", Loc: fabric.Location{Node: 0, GPU: 0}}
+		if err := pl.Get(p, ctx, dataplane.DataRef{ID: 999, Bytes: 1}); err == nil {
+			t.Error("Get of unknown ID should fail")
+		}
+	})
+	e.Run(0)
+}
+
+func TestNameReflectsAblations(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	if got := New(f, FullConfig()).Name(); got != "grouter" {
+		t.Errorf("full name = %q", got)
+	}
+	cfg := FullConfig()
+	cfg.ElasticStore = false
+	cfg.TopoAware = false
+	if got := New(f, cfg).Name(); got != "grouter-ES-TA" {
+		t.Errorf("ablated name = %q", got)
+	}
+}
+
+func TestQuadA10LocalityStillWins(t *testing.T) {
+	// Fig. 20(a): even without NVLink GROUTER wins by avoiding the extra
+	// store copy.
+	src := fabric.Location{Node: 0, GPU: 0}
+	dst := fabric.Location{Node: 0, GPU: 2}
+	size := 128 * MB
+	// Average over rounds so NVSHMEM+'s random store GPU can't get lucky.
+	g, gst := passDataN(t, grouterFull, topology.QuadA10(), 1, src, dst, size, 8)
+	nv, _ := passDataN(t, func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, 3) },
+		topology.QuadA10(), 1, src, dst, size, 8)
+	if gst.Copies != 8 {
+		t.Errorf("A10 copies = %d over 8 rounds, want 8", gst.Copies)
+	}
+	if !(g < nv) {
+		t.Errorf("grouter %v not faster than nvshmem+ %v on PCIe-only box", g, nv)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() time.Duration {
+		lat, _ := passData(t, grouterFull, topology.DGXV100(), 1,
+			fabric.Location{Node: 0, GPU: 0}, fabric.Location{Node: 0, GPU: 5}, 200*MB)
+		return lat
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}

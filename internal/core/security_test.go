@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+func TestAccessControlBlocksForeignWorkflow(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 1)
+	pl := New(f, FullConfig())
+	e.Go("attack", func(p *sim.Proc) {
+		owner := &dataplane.FnCtx{Fn: "a", Workflow: "wf-a", Loc: fabric.Location{Node: 0, GPU: 0}}
+		attacker := &dataplane.FnCtx{Fn: "b", Workflow: "wf-b", Loc: fabric.Location{Node: 0, GPU: 1}}
+		ref, err := pl.Put(p, owner, 1<<20)
+		if err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		err = pl.Get(p, attacker, ref)
+		if !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("cross-workflow Get error = %v, want ErrAccessDenied", err)
+		}
+		// The owner workflow still reads its own data.
+		reader := &dataplane.FnCtx{Fn: "c", Workflow: "wf-a", Loc: fabric.Location{Node: 0, GPU: 2}}
+		if err := pl.Get(p, reader, ref); err != nil {
+			t.Errorf("intra-workflow Get: %v", err)
+		}
+		pl.Free(ref)
+	})
+	e.Run(0)
+}
+
+func TestHierarchicalLookupCachesRemoteMetadata(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := fabric.New(e, topology.DGXV100(), 2)
+	pl := New(f, FullConfig())
+	e.Go("lookup", func(p *sim.Proc) {
+		prod := &dataplane.FnCtx{Fn: "up", Workflow: "wf", Loc: fabric.Location{Node: 0, GPU: 0}}
+		cons := &dataplane.FnCtx{Fn: "down", Workflow: "wf", Loc: fabric.Location{Node: 1, GPU: 0}}
+		ref, err := pl.Put(p, prod, 1<<20)
+		if err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		// First remote Get: global lookup (20µs path). Second: local hit.
+		if err := pl.Get(p, cons, ref); err != nil {
+			t.Errorf("Get1: %v", err)
+		}
+		t1 := p.Now()
+		if err := pl.Get(p, cons, ref); err != nil {
+			t.Errorf("Get2: %v", err)
+		}
+		secondTotal := p.Now() - t1
+		// Both Gets include the same transfer; measure lookup difference via
+		// the table state directly.
+		if !pl.localTables[1][ref.ID] {
+			t.Error("remote metadata not cached in the consumer node's local table")
+		}
+		pl.Free(ref)
+		if pl.localTables[1][ref.ID] || pl.localTables[0][ref.ID] {
+			t.Error("Free did not purge local tables")
+		}
+		_ = secondTotal
+	})
+	e.Run(0)
+}

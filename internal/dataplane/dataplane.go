@@ -1,0 +1,93 @@
+// Package dataplane defines the interface every serverless data plane in
+// this repository implements — GROUTER and the three baselines (INFless+,
+// NVSHMEM+, DeepPlan+) — plus the per-plane statistics the experiments
+// report. Experiments are written against Plane, so systems swap with one
+// line.
+package dataplane
+
+import (
+	"time"
+
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+)
+
+// DataID is a globally unique identifier for one intermediate-data object
+// (§4.2.1: returned by Put, passed to downstream functions).
+type DataID uint64
+
+// DataRef names a stored object and its size.
+type DataRef struct {
+	ID    DataID
+	Bytes int64
+}
+
+// FnCtx describes the invoking function instance to the data plane. GROUTER
+// exploits every field; baselines ignore the ones their designs cannot see
+// (most importantly Loc for placement-agnostic GPU stores).
+type FnCtx struct {
+	// Fn and Workflow identify the function for per-function statistics and
+	// storage pre-warming.
+	Fn       string
+	Workflow string
+	// Loc is the physical location of the function instance (GPU for gFns,
+	// host for cFns).
+	Loc fabric.Location
+	// SLO is the function's latency objective and InferLatency its expected
+	// compute time; together they define the minimum transfer rate
+	// Rate_least = bytes/(SLO − InferLatency) of §4.3.2.
+	SLO          time.Duration
+	InferLatency time.Duration
+	// ConsumerSeq orders the downstream invocation that will consume this
+	// function's output in the global request queue; the queue-aware
+	// eviction policy of §4.4.2 uses it.
+	ConsumerSeq int64
+}
+
+// RateFloor computes Rate_least in bytes/s for moving the given payload
+// within the context's SLO budget, or 0 when no SLO is set.
+func (c *FnCtx) RateFloor(bytes int64) float64 {
+	if c == nil || c.SLO <= 0 {
+		return 0
+	}
+	budget := c.SLO - c.InferLatency
+	if budget <= 0 {
+		// SLO already consumed by compute; ask for the whole link.
+		budget = time.Millisecond
+	}
+	return float64(bytes) / budget.Seconds()
+}
+
+// Plane is a serverless data plane: Put stores a function's output, Get
+// makes a stored object available at the caller's location, Free drops it.
+// All methods run in simulated time from a sim process.
+type Plane interface {
+	Name() string
+	Put(p *sim.Proc, ctx *FnCtx, bytes int64) (DataRef, error)
+	Get(p *sim.Proc, ctx *FnCtx, ref DataRef) error
+	Free(ref DataRef)
+	Stats() *Stats
+}
+
+// Stats aggregates a plane's activity for the overhead experiments
+// (Fig. 20b/20c) and copy-count assertions.
+type Stats struct {
+	Puts int64
+	Gets int64
+	// Copies counts device-level data movements (the redundant-copy metric
+	// of §3.1: the optimum for a gFn-gFn exchange is 1).
+	Copies int64
+	// BytesMoved totals payload bytes crossing any link.
+	BytesMoved int64
+	// ControlOps counts control-plane actions (lookups, placement queries,
+	// monitor updates) for the CPU-overhead comparison.
+	ControlOps int64
+	// ControlCPU accumulates estimated control-plane CPU time.
+	ControlCPU time.Duration
+}
+
+// AddControl records n control operations at the given per-op CPU cost.
+func (s *Stats) AddControl(n int64, perOp time.Duration) {
+	s.ControlOps += n
+	s.ControlCPU += time.Duration(n) * perOp
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig5b", "fig6a", "fig7a", "tab1", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "fig20c",
+		"ext-coldstart", "ext-spatial"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		if ByID(id) == nil {
+			t.Errorf("ByID(%s) = nil", id)
+		}
+	}
+	if ByID("fig99") != nil {
+		t.Error("unknown ID should be nil")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"longer", "3"}},
+		Notes:   []string{"a note"},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"== x: demo ==", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// cell parses a numeric table cell (strips %, x suffixes).
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig6aMatchesPaperDistribution(t *testing.T) {
+	tbl := Fig6aPairBandwidth()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// 8 double, 8 single, 12 none; measured 48/24/12 GB/s.
+	wantPairs := []float64{8, 8, 12}
+	wantBW := []float64{48, 24, 12}
+	for i, row := range tbl.Rows {
+		if got := cell(t, row[1]); got != wantPairs[i] {
+			t.Errorf("row %d pairs = %v, want %v", i, got, wantPairs[i])
+		}
+		if got := cell(t, row[4]); got < wantBW[i]*0.95 || got > wantBW[i]*1.05 {
+			t.Errorf("row %d bandwidth = %v, want ~%v", i, got, wantBW[i])
+		}
+	}
+}
+
+func TestFig13ShapeHolds(t *testing.T) {
+	tbl := Fig13DataPassing()
+	for _, row := range tbl.Rows {
+		size := cell(t, row[1])
+		infless, grt := cell(t, row[2]), cell(t, row[5])
+		if !(grt < infless) {
+			t.Errorf("%s @%vMiB: grouter %v not under infless+ %v", row[0], size, grt, infless)
+		}
+		// At ≥64 MiB, GROUTER must beat the best baseline by a wide margin.
+		if size >= 64 {
+			if red := cell(t, row[6]); red < 30 {
+				t.Errorf("%s @%vMiB: reduction %v%%, want >= 30%%", row[0], size, red)
+			}
+		}
+	}
+}
+
+func TestTab1OnlyGrouterHasAllCapabilities(t *testing.T) {
+	tbl := Table1Capabilities()
+	for _, row := range tbl.Rows {
+		all := row[1] == "yes" && row[2] == "yes" && row[3] == "yes"
+		if row[0] == "grouter" && !all {
+			t.Errorf("grouter capabilities incomplete: %v", row)
+		}
+		if row[0] != "grouter" && all {
+			t.Errorf("%s should not have every capability: %v", row[0], row)
+		}
+	}
+}
+
+func TestFig19OrderingAndTrend(t *testing.T) {
+	tbl := Fig19LLMTTFT()
+	var prev float64
+	for i, row := range tbl.Rows {
+		inf, moon, grt := cell(t, row[3]), cell(t, row[4]), cell(t, row[5])
+		if !(grt < moon && moon < inf) {
+			t.Errorf("row %v: ordering wrong (grouter %v mooncake %v infless %v)", row, grt, moon, inf)
+		}
+		// Input-length sweep (first 5 rows) must be monotone for grouter.
+		if i > 0 && i < 5 && grt <= prev {
+			t.Errorf("TTFT not increasing with input length at row %d", i)
+		}
+		prev = grt
+	}
+}
+
+func TestFig20aGrouterWins(t *testing.T) {
+	tbl := Fig20aNoNVLink()
+	for _, row := range tbl.Rows {
+		if red := cell(t, row[5]); red <= 0 {
+			t.Errorf("no-NVLink reduction %v%% at %v MiB", red, row[0])
+		}
+	}
+}
+
+// TestWorkloadExperimentsSmoke runs the cheap workload experiments once and
+// sanity-checks their structure (the expensive ones are exercised by the
+// bench harness).
+func TestWorkloadExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiments take seconds")
+	}
+	start := time.Now()
+	for _, id := range []string{"fig3", "fig7a", "fig20b", "fig20c"} {
+		tbl := ByID(id).Run()
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		if len(tbl.Notes) == 0 {
+			t.Errorf("%s: missing paper-comparison notes", id)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Errorf("%s: row width %d != %d columns", id, len(row), len(tbl.Columns))
+			}
+		}
+	}
+	t.Logf("smoke experiments in %v", time.Since(start))
+}
+
+func TestFig3PassingDominatesOnHostCentric(t *testing.T) {
+	tbl := Fig3Breakdown()
+	for _, row := range tbl.Rows {
+		if share := cell(t, row[5]); share < 50 {
+			t.Errorf("%s batch %s: passing share %v%%, want > 50%%", row[0], row[1], share)
+		}
+	}
+}
+
+func TestFig18OrderingAtTenPercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pressure experiment takes seconds")
+	}
+	tbl := Fig18ElasticStorage()
+	// First four rows are the 10% comparison in order infless+, lru, rq,
+	// grouter; tail latency must be non-increasing down the list.
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	p99s := []float64{}
+	for _, row := range tbl.Rows[:4] {
+		p99s = append(p99s, cell(t, row[3]))
+	}
+	for i := 1; i < len(p99s); i++ {
+		if p99s[i] > p99s[i-1]*1.02 { // small tolerance
+			t.Errorf("10%% p99 not improving: %v", p99s)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package fabric
+
+import (
+	"testing"
+
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+func TestNewFabricWiring(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := New(e, topology.DGXV100(), 2)
+	if f.NumNodes() != 2 {
+		t.Fatalf("nodes = %d", f.NumNodes())
+	}
+	if len(f.NodeF(0).GPUs) != 8 {
+		t.Fatalf("gpus = %d", len(f.NodeF(0).GPUs))
+	}
+	// Every topology link must be registered in the network.
+	for _, l := range f.Cluster.Links() {
+		if !f.Net.HasLink(l.ID) {
+			t.Errorf("link %s missing from netsim", l.ID)
+		}
+	}
+	// Memory devices sized per spec.
+	if got := f.NodeF(1).GPUs[3].Capacity; got != 16*topology.GB {
+		t.Errorf("gpu capacity = %d", got)
+	}
+	if got := f.NodeF(0).Host.Capacity; got != 244*topology.GB {
+		t.Errorf("host capacity = %d", got)
+	}
+	if f.NodeF(0).Pinned.Capacity() != DefaultPinnedBufferBytes {
+		t.Error("pinned gate not sized")
+	}
+}
+
+func TestLocationHelpers(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := New(e, topology.DGXV100(), 1)
+	gpu := Location{Node: 0, GPU: 2}
+	host := Location{Node: 0, GPU: HostGPU}
+	if gpu.IsHost() || !host.IsHost() {
+		t.Error("IsHost misclassifies")
+	}
+	if gpu.String() != "n0.gpu2" || host.String() != "n0.host" {
+		t.Errorf("String() = %s / %s", gpu, host)
+	}
+	if f.Mem(gpu) != f.NodeF(0).GPUs[2] {
+		t.Error("Mem(gpu) wrong device")
+	}
+	if f.Mem(host) != f.NodeF(0).Host {
+		t.Error("Mem(host) wrong device")
+	}
+}
+
+func TestSinglePathShapes(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := New(e, topology.DGXV100(), 2)
+	cases := []struct {
+		name      string
+		from, to  Location
+		wantLinks int
+		hostStack bool
+	}{
+		{"same location", Location{0, 0}, Location{0, 0}, 0, false},
+		{"nvlink pair", Location{0, 0}, Location{0, 3}, 1, false},
+		{"pcie p2p pair", Location{0, 0}, Location{0, 5}, 4, false},
+		{"gpu to host", Location{0, 1}, Location{0, HostGPU}, 2, false},
+		{"host to gpu", Location{0, HostGPU}, Location{0, 1}, 2, false},
+		{"cross-node gdr", Location{0, 0}, Location{1, 0}, 4, false},
+		{"host to host", Location{0, HostGPU}, Location{1, HostGPU}, 2, true},
+		{"host to remote gpu", Location{0, HostGPU}, Location{1, 2}, 3, true},
+		{"gpu to remote host", Location{0, 2}, Location{1, HostGPU}, 3, true},
+	}
+	for _, c := range cases {
+		links, hostStack := f.SinglePath(c.from, c.to)
+		if len(links) != c.wantLinks {
+			t.Errorf("%s: %d links (%v), want %d", c.name, len(links), links, c.wantLinks)
+		}
+		if hostStack != c.hostStack {
+			t.Errorf("%s: hostStack = %v, want %v", c.name, hostStack, c.hostStack)
+		}
+		// All links must exist in the network.
+		for _, id := range links {
+			if !f.Net.HasLink(id) {
+				t.Errorf("%s: unknown link %s", c.name, id)
+			}
+		}
+	}
+}

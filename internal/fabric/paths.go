@@ -1,0 +1,61 @@
+package fabric
+
+import "grouter/internal/topology"
+
+// SinglePath returns the canonical single-link-path between two locations —
+// what a topology-oblivious system uses: direct NVLink when present, PCIe
+// peer-to-peer otherwise, the local PCIe route for GPU↔host, one
+// GPUDirect-RDMA NIC pair across nodes, and the kernel network stack for
+// host↔host. hostStack reports whether the path is host-mediated (charged
+// extra per-transfer latency by the transfer engine).
+func (f *Fabric) SinglePath(from, to Location) (links []topology.LinkID, hostStack bool) {
+	if from == to {
+		return nil, false
+	}
+	src, dst := f.Topo(from.Node), f.Topo(to.Node)
+	switch {
+	case from.Node == to.Node && !from.IsHost() && !to.IsHost():
+		if src.Spec.NVLinkBps(from.GPU, to.GPU) > 0 {
+			return src.NVLinkPathLinks([]int{from.GPU, to.GPU}), false
+		}
+		return src.PCIeP2PLinks(from.GPU, to.GPU), false
+	case from.Node == to.Node && from.IsHost():
+		return src.HostToGPULinks(to.GPU), false
+	case from.Node == to.Node && to.IsHost():
+		return src.GPUToHostLinks(from.GPU), false
+	case !from.IsHost() && !to.IsHost():
+		// Cross-node gFn-gFn: GDR through the source GPU's nearest NIC.
+		nic := src.Spec.GPUNIC[from.GPU]
+		rnic := nic
+		if rnic >= dst.Spec.NICCount {
+			rnic = dst.Spec.NICCount - 1
+		}
+		links = append(links, src.GPUToNICLinks(from.GPU, nic)...)
+		links = append(links, dst.NICToGPULinks(rnic, to.GPU)...)
+		return links, false
+	case from.IsHost() && to.IsHost():
+		links = append(links, src.NICTx(0), dst.NICRx(0))
+		return links, true
+	case from.IsHost():
+		// Host on one node to a GPU on another: NIC pair plus the remote
+		// PCIe descent.
+		nic := dst.Spec.GPUNIC[to.GPU]
+		snic := nic
+		if snic >= src.Spec.NICCount {
+			snic = src.Spec.NICCount - 1
+		}
+		links = append(links, src.NICTx(snic))
+		links = append(links, dst.NICToGPULinks(nic, to.GPU)...)
+		return links, true
+	default:
+		// GPU to a remote host.
+		nic := src.Spec.GPUNIC[from.GPU]
+		rnic := nic
+		if rnic >= dst.Spec.NICCount {
+			rnic = dst.Spec.NICCount - 1
+		}
+		links = append(links, src.GPUToNICLinks(from.GPU, nic)...)
+		links = append(links, dst.NICRx(rnic))
+		return links, true
+	}
+}

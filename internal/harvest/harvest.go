@@ -1,0 +1,253 @@
+// Package harvest implements GROUTER's fine-grained bandwidth harvesting
+// (§4.3.1–4.3.2): building parallel link paths that borrow idle PCIe links
+// and NICs from peer GPUs, and mapping function SLOs to transfer rate
+// constraints.
+//
+// Two harvesting modes capture the paper's comparison: ModeTopoAware is
+// GROUTER (route GPUs must be NVLink neighbors, GPUs sharing a PCIe switch
+// are excluded, one route per switch); ModeNaive is DeepPlan-style
+// harvesting that ignores topology, so a route GPU without NVLink drags the
+// data across the source's own PCIe link twice.
+package harvest
+
+import (
+	"time"
+
+	"grouter/internal/netsim"
+	"grouter/internal/topology"
+)
+
+// Mode selects the harvesting strategy.
+type Mode int
+
+const (
+	// ModeOff uses only the local GPU's own link (NVSHMEM+/INFless+).
+	ModeOff Mode = iota
+	// ModeNaive harvests peer links without topology awareness (DeepPlan+).
+	ModeNaive
+	// ModeTopoAware harvests with NVLink-connectivity and PCIe-switch
+	// exclusion rules (GROUTER).
+	ModeTopoAware
+)
+
+// busyFraction is the utilization above which a candidate route link is
+// considered occupied and skipped (idle-link harvesting only).
+const busyFraction = 0.8
+
+// idleIn reports whether a link has meaningful spare capacity.
+func idleIn(net *netsim.Network, id topology.LinkID) bool {
+	if net == nil {
+		return true
+	}
+	c := net.Capacity(id)
+	if c <= 0 {
+		return false
+	}
+	return net.AllocatedOn(id) < busyFraction*c
+}
+
+// GPUToHostPaths returns parallel paths for staging data from GPU g to host
+// memory. The first path is always g's own PCIe route; harvested routes
+// follow. net (optional) filters busy route links.
+func GPUToHostPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) [][]topology.LinkID {
+	paths := [][]topology.LinkID{node.GPUToHostLinks(g)}
+	if mode == ModeOff {
+		return paths
+	}
+	spec := node.Spec
+	usedSwitch := map[int]bool{spec.PCIeGroup[g]: true}
+	for r := 0; r < spec.NumGPUs; r++ {
+		if r == g {
+			continue
+		}
+		linked := spec.NVLinkBps(g, r) > 0
+		switch mode {
+		case ModeTopoAware:
+			if !linked {
+				continue // no NVLink: borrowing would double-cross g's PCIe
+			}
+			if usedSwitch[spec.PCIeGroup[r]] {
+				continue // switch already contributes one uplink
+			}
+			uplink := node.PCIeSwitchUp(spec.PCIeGroup[r])
+			if !idleIn(net, uplink) || !idleIn(net, node.PCIeGPUUp(r)) {
+				continue
+			}
+			usedSwitch[spec.PCIeGroup[r]] = true
+			path := append(node.NVLinkPathLinks([]int{g, r}), node.GPUToHostLinks(r)...)
+			paths = append(paths, path)
+		case ModeNaive:
+			// DeepPlan-style: any peer, reached over NVLink when present and
+			// over PCIe peer-to-peer when not (congesting g's own link).
+			var path []topology.LinkID
+			if linked {
+				path = append(node.NVLinkPathLinks([]int{g, r}), node.GPUToHostLinks(r)...)
+			} else {
+				path = append(append([]topology.LinkID{}, node.PCIeP2PLinks(g, r)...), node.GPUToHostLinks(r)...)
+			}
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// HostToGPUPaths mirrors GPUToHostPaths for host→GPU staging.
+func HostToGPUPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) [][]topology.LinkID {
+	paths := [][]topology.LinkID{node.HostToGPULinks(g)}
+	if mode == ModeOff {
+		return paths
+	}
+	spec := node.Spec
+	usedSwitch := map[int]bool{spec.PCIeGroup[g]: true}
+	for r := 0; r < spec.NumGPUs; r++ {
+		if r == g {
+			continue
+		}
+		linked := spec.NVLinkBps(r, g) > 0
+		switch mode {
+		case ModeTopoAware:
+			if !linked || usedSwitch[spec.PCIeGroup[r]] {
+				continue
+			}
+			downlink := node.PCIeSwitchDown(spec.PCIeGroup[r])
+			if !idleIn(net, downlink) || !idleIn(net, node.PCIeGPUDown(r)) {
+				continue
+			}
+			usedSwitch[spec.PCIeGroup[r]] = true
+			path := append(append([]topology.LinkID{}, node.HostToGPULinks(r)...), node.NVLinkPathLinks([]int{r, g})...)
+			paths = append(paths, path)
+		case ModeNaive:
+			var path []topology.LinkID
+			if linked {
+				path = append(append([]topology.LinkID{}, node.HostToGPULinks(r)...), node.NVLinkPathLinks([]int{r, g})...)
+			} else {
+				path = append(append([]topology.LinkID{}, node.HostToGPULinks(r)...), node.PCIeP2PLinks(r, g)...)
+			}
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// CrossNodePaths returns GPUDirect-RDMA paths from (src node, sg) to
+// (dst node, dg). With ModeOff a single path through the source GPU's
+// nearest NIC is returned; harvesting modes add routes through peer GPUs'
+// NICs, landing on the same-indexed remote GPU to minimize NUMA hops and
+// finishing over NVLink (Fig. 9a).
+func CrossNodePaths(src *topology.Node, sg int, dst *topology.Node, dg int, mode Mode, net *netsim.Network) [][]topology.LinkID {
+	spec := src.Spec
+	own := directNICPath(src, sg, dst, dg)
+	paths := [][]topology.LinkID{own}
+	if mode == ModeOff {
+		return paths
+	}
+	usedNIC := map[int]bool{spec.GPUNIC[sg]: true}
+	// Landing GPUs receive a chunk stream through their own PCIe x16 and
+	// forward it to dg over NVLink, so each landing must be distinct or the
+	// aggregation collapses onto one link (Fig. 9a aggregates "on the
+	// destination GPU via NVLink" from distinct peers).
+	usedLanding := map[int]bool{dg: true}
+	for r := 0; r < spec.NumGPUs; r++ {
+		if r == sg {
+			continue
+		}
+		nic := spec.GPUNIC[r]
+		if usedNIC[nic] {
+			continue
+		}
+		linked := spec.NVLinkBps(sg, r) > 0
+		if mode == ModeTopoAware {
+			if !linked {
+				continue
+			}
+			if !idleIn(net, src.NICTx(nic)) {
+				continue
+			}
+		}
+		// Pick the landing GPU: prefer the same index (NUMA-aligned with
+		// the NIC) when it has NVLink to dg, otherwise any unused NVLink
+		// neighbor of dg.
+		landing := -1
+		if r < dst.Spec.NumGPUs && !usedLanding[r] &&
+			(r == dg || dst.Spec.NVLinkBps(r, dg) > 0) {
+			landing = r
+		} else if mode == ModeTopoAware {
+			for _, cand := range dst.Spec.NVNeighbors(dg) {
+				if !usedLanding[cand] {
+					landing = cand
+					break
+				}
+			}
+		} else if r < dst.Spec.NumGPUs {
+			landing = r // naive mode lands same-index regardless
+		}
+		if landing < 0 {
+			continue
+		}
+		usedNIC[nic] = true
+		usedLanding[landing] = true
+		var path []topology.LinkID
+		if linked {
+			path = append(path, src.NVLinkPathLinks([]int{sg, r})...)
+		} else {
+			path = append(path, src.PCIeP2PLinks(sg, r)...)
+		}
+		path = append(path, src.GPUToNICLinks(r, nic)...)
+		path = append(path, dst.NICToGPULinks(nic, landing)...)
+		if landing != dg {
+			if dst.Spec.NVLinkBps(landing, dg) > 0 {
+				path = append(path, dst.NVLinkPathLinks([]int{landing, dg})...)
+			} else {
+				path = append(path, dst.PCIeP2PLinks(landing, dg)...)
+			}
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// directNICPath is the single-NIC GDR path used by every system's base case.
+func directNICPath(src *topology.Node, sg int, dst *topology.Node, dg int) []topology.LinkID {
+	nic := src.Spec.GPUNIC[sg]
+	rnic := nic
+	if rnic >= dst.Spec.NICCount {
+		rnic = dst.Spec.NICCount - 1
+	}
+	path := append([]topology.LinkID{}, src.GPUToNICLinks(sg, nic)...)
+	return append(path, dst.NICToGPULinks(rnic, dg)...)
+}
+
+// Options builds the rate-control constraints for a transfer with the given
+// SLO slack: a Rate_least floor and a priority tier so idle bandwidth goes
+// to the tightest SLO first (§4.3.2).
+func Options(bytes int64, slo, inferLatency time.Duration) netsim.Options {
+	if slo <= 0 {
+		return netsim.Options{}
+	}
+	budget := slo - inferLatency
+	if budget <= 0 {
+		budget = time.Millisecond
+	}
+	return netsim.Options{
+		MinRate:  float64(bytes) / budget.Seconds(),
+		Priority: Priority(budget),
+	}
+}
+
+// Priority maps SLO slack to a netsim priority tier: tighter slack → higher
+// tier. Slacks of a second or more share tier 0.
+func Priority(slack time.Duration) int {
+	switch {
+	case slack <= 0:
+		return 64
+	case slack >= time.Second:
+		return 0
+	default:
+		// Logarithmic buckets between 1ms (tier ~10) and 1s (tier 0).
+		tier := 0
+		for d := time.Second; d > slack && tier < 64; d /= 2 {
+			tier++
+		}
+		return tier
+	}
+}

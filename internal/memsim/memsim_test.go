@@ -1,0 +1,194 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grouter/internal/sim"
+)
+
+func TestDeviceAllocFree(t *testing.T) {
+	d := NewDevice("gpu0", 1000)
+	b, err := d.Alloc(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 600 || d.Free() != 400 {
+		t.Errorf("used/free = %d/%d, want 600/400", d.Used(), d.Free())
+	}
+	if _, err := d.Alloc(500); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("over-allocation error = %v, want ErrOutOfMemory", err)
+	}
+	b.Free()
+	if d.Used() != 0 {
+		t.Errorf("used after free = %d, want 0", d.Used())
+	}
+	if d.Peak() != 600 {
+		t.Errorf("peak = %d, want 600", d.Peak())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	d := NewDevice("gpu0", 100)
+	b, _ := d.Alloc(10)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("double free should panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestPoolGrowAllocReleaseShrink(t *testing.T) {
+	d := NewDevice("gpu0", 1000)
+	p := NewPool(d)
+	warm, err := p.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Error("first alloc should be a cold grow")
+	}
+	if p.Reserved() != 100 || p.Used() != 100 || d.Used() != 100 {
+		t.Errorf("reserved/used/dev = %d/%d/%d", p.Reserved(), p.Used(), d.Used())
+	}
+	p.Release(100)
+	if p.Idle() != 100 {
+		t.Errorf("idle = %d, want 100", p.Idle())
+	}
+	// Now a same-size alloc is warm.
+	warm, err = p.Alloc(80)
+	if err != nil || !warm {
+		t.Errorf("warm alloc = %v/%v, want true/nil", warm, err)
+	}
+	p.Release(80)
+	if got := p.Shrink(1000); got != 100 {
+		t.Errorf("shrink released %d, want 100 (all idle)", got)
+	}
+	if d.Used() != 0 {
+		t.Errorf("device used after shrink = %d, want 0", d.Used())
+	}
+}
+
+func TestPoolShrinkOnlyIdle(t *testing.T) {
+	d := NewDevice("gpu0", 1000)
+	p := NewPool(d)
+	if _, err := p.Alloc(200); err != nil {
+		t.Fatal(err)
+	}
+	// All 200 are live; shrink must release nothing.
+	if got := p.Shrink(200); got != 0 {
+		t.Errorf("shrink released %d live bytes", got)
+	}
+}
+
+func TestPoolGrowOOM(t *testing.T) {
+	d := NewDevice("gpu0", 100)
+	p := NewPool(d)
+	if _, err := p.Alloc(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(60); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestPoolInvariantProperty(t *testing.T) {
+	// Property: for any sequence of alloc/release, 0 <= used <= reserved <=
+	// device capacity, and device.used == reserved.
+	f := func(ops []int16) bool {
+		d := NewDevice("gpu0", 1<<20)
+		p := NewPool(d)
+		live := []int64{}
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				if _, err := p.Alloc(n); err == nil {
+					live = append(live, n)
+				}
+			} else if len(live) > 0 {
+				p.Release(live[len(live)-1])
+				live = live[:len(live)-1]
+				p.Shrink(-n)
+			}
+			if p.Used() < 0 || p.Used() > p.Reserved() || p.Reserved() > d.Capacity {
+				return false
+			}
+			if d.Used() != p.Reserved() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteGateBlocksUntilRelease(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	g := NewByteGate(e, 100)
+	var acquiredAt time.Duration
+	e.Go("holder", func(p *sim.Proc) {
+		g.Acquire(p, 80)
+		p.Sleep(5 * time.Second)
+		g.Release(80)
+	})
+	e.GoAfter(time.Second, "waiter", func(p *sim.Proc) {
+		g.Acquire(p, 50)
+		acquiredAt = p.Now()
+		g.Release(50)
+	})
+	e.Run(0)
+	if acquiredAt != 5*time.Second {
+		t.Errorf("waiter acquired at %v, want 5s", acquiredAt)
+	}
+}
+
+func TestByteGateFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	g := NewByteGate(e, 100)
+	var order []string
+	e.Go("holder", func(p *sim.Proc) {
+		g.Acquire(p, 100)
+		p.Sleep(time.Second)
+		g.Release(100)
+	})
+	// big arrives first and must be served before small, even though small
+	// would fit earlier.
+	e.GoAfter(10*time.Millisecond, "big", func(p *sim.Proc) {
+		g.Acquire(p, 90)
+		order = append(order, "big")
+		p.Sleep(time.Second)
+		g.Release(90)
+	})
+	e.GoAfter(20*time.Millisecond, "small", func(p *sim.Proc) {
+		g.Acquire(p, 10)
+		order = append(order, "small")
+		g.Release(10)
+	})
+	e.Run(0)
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Errorf("order = %v, want [big small]", order)
+	}
+}
+
+func TestByteGateClampsOversizedRequest(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	g := NewByteGate(e, 100)
+	var got int64
+	e.Go("p", func(p *sim.Proc) {
+		got = g.Acquire(p, 500)
+		g.Release(got)
+	})
+	e.Run(0)
+	if got != 100 {
+		t.Errorf("clamped acquire = %d, want 100", got)
+	}
+}

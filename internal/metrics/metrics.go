@@ -1,0 +1,153 @@
+// Package metrics provides the measurement primitives the experiment harness
+// uses: exact-percentile latency recorders, time-series samplers, and small
+// statistics helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Latency records duration samples and answers exact percentile queries
+// (sorting on demand; sample counts in this repo are small enough that a
+// sketch is unnecessary).
+type Latency struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latency) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns the sample count.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (l *Latency) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// P returns the q-quantile (q in [0,1]) using nearest-rank, or 0 with no
+// samples.
+func (l *Latency) P(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(l.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() time.Duration { return l.P(1) }
+
+// Samples returns a copy of the recorded samples (sorted ascending).
+func (l *Latency) Samples() []time.Duration {
+	l.P(0) // force sort
+	out := make([]time.Duration, len(l.samples))
+	copy(out, l.samples)
+	return out
+}
+
+// FractionUnder returns the fraction of samples at or below the bound
+// (SLO-compliance rate).
+func (l *Latency) FractionUnder(bound time.Duration) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range l.samples {
+		if s <= bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(l.samples))
+}
+
+// Timeline records (time, value) samples of a scalar signal.
+type Timeline struct {
+	Times  []time.Duration
+	Values []float64
+}
+
+// Add appends one sample; times must be non-decreasing.
+func (t *Timeline) Add(at time.Duration, v float64) {
+	if n := len(t.Times); n > 0 && at < t.Times[n-1] {
+		panic(fmt.Sprintf("metrics: timeline sample at %v before %v", at, t.Times[n-1]))
+	}
+	t.Times = append(t.Times, at)
+	t.Values = append(t.Values, v)
+}
+
+// Len returns the sample count.
+func (t *Timeline) Len() int { return len(t.Times) }
+
+// Peak returns the maximum value, or 0 when empty.
+func (t *Timeline) Peak() float64 {
+	max := 0.0
+	for _, v := range t.Values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the time-weighted mean value over the sampled span (each
+// sample holds until the next), or 0 when fewer than two samples exist.
+func (t *Timeline) Mean() float64 {
+	if len(t.Times) < 2 {
+		if len(t.Values) == 1 {
+			return t.Values[0]
+		}
+		return 0
+	}
+	var area, span float64
+	for i := 0; i+1 < len(t.Times); i++ {
+		dt := (t.Times[i+1] - t.Times[i]).Seconds()
+		area += t.Values[i] * dt
+		span += dt
+	}
+	if span == 0 {
+		return t.Values[0]
+	}
+	return area / span
+}
+
+// Counter is a monotone event counter with a convenience for rates.
+type Counter struct{ N int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.N++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n int64) { c.N += n }
+
+// Rate returns events per second over the window.
+func (c *Counter) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.N) / window.Seconds()
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.P(0.5); got != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", got)
+	}
+	if got := l.P(0.99); got != 99*time.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", got)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.P(0.99) != 0 || l.Mean() != 0 || l.Count() != 0 {
+		t.Error("empty recorder should return zeros")
+	}
+}
+
+func TestLatencyAddAfterQuery(t *testing.T) {
+	var l Latency
+	l.Add(10 * time.Millisecond)
+	_ = l.P(0.5)
+	l.Add(time.Millisecond) // must re-sort
+	if got := l.P(0); got != time.Millisecond {
+		t.Errorf("min after late add = %v, want 1ms", got)
+	}
+}
+
+func TestFractionUnder(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 10; i++ {
+		l.Add(time.Duration(i) * time.Second)
+	}
+	if got := l.FractionUnder(5 * time.Second); got != 0.5 {
+		t.Errorf("FractionUnder(5s) = %f, want 0.5", got)
+	}
+	if got := l.FractionUnder(0); got != 0 {
+		t.Errorf("FractionUnder(0) = %f, want 0", got)
+	}
+}
+
+func TestPercentileWithinSamplesProperty(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latency
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			l.Add(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		q := float64(qRaw) / 255
+		got := l.P(q)
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimelinePeakAndMean(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, 10)
+	tl.Add(time.Second, 30)
+	tl.Add(3*time.Second, 0)
+	if tl.Peak() != 30 {
+		t.Errorf("Peak = %f, want 30", tl.Peak())
+	}
+	// Time-weighted: 10 for 1s, 30 for 2s → (10+60)/3.
+	want := 70.0 / 3
+	if got := tl.Mean(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Mean = %f, want %f", got, want)
+	}
+	if tl.Len() != 3 {
+		t.Errorf("Len = %d", tl.Len())
+	}
+}
+
+func TestTimelineRejectsTimeTravel(t *testing.T) {
+	var tl Timeline
+	tl.Add(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order timeline add should panic")
+		}
+	}()
+	tl.Add(0, 2)
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	var tl Timeline
+	if tl.Mean() != 0 || tl.Peak() != 0 {
+		t.Error("empty timeline should return zeros")
+	}
+	tl.Add(0, 5)
+	if tl.Mean() != 5 {
+		t.Errorf("single-sample mean = %f, want 5", tl.Mean())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.N != 10 {
+		t.Errorf("N = %d, want 10", c.N)
+	}
+	if got := c.Rate(2 * time.Second); got != 5 {
+		t.Errorf("Rate = %f, want 5", got)
+	}
+	if got := c.Rate(0); got != 0 {
+		t.Errorf("Rate(0) = %f, want 0", got)
+	}
+}

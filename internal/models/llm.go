@@ -1,0 +1,94 @@
+package models
+
+import (
+	"fmt"
+	"time"
+)
+
+// LLM describes a transformer model for the Mixture-of-Agents experiments:
+// KV-cache sizing and prefill latency under tensor parallelism.
+type LLM struct {
+	Name string
+	// ParamsB is parameter count in billions.
+	ParamsB float64
+	// Layers, KVHeads and HeadDim size the KV cache; BytesPerElem is the
+	// cache dtype width (2 for FP16).
+	Layers, KVHeads, HeadDim, BytesPerElem int
+}
+
+// KVBytesPerToken returns the full-model KV-cache footprint of one token.
+func (l *LLM) KVBytesPerToken() int64 {
+	return int64(2 * l.Layers * l.KVHeads * l.HeadDim * l.BytesPerElem) // 2 = K and V
+}
+
+// KVBytes returns the KV-cache size of a prompt of the given token count.
+func (l *LLM) KVBytes(tokens int) int64 {
+	return l.KVBytesPerToken() * int64(tokens)
+}
+
+// KVBytesPerGPU returns the per-GPU KV shard size under tensor parallelism
+// tp (the cache is sharded across heads).
+func (l *LLM) KVBytesPerGPU(tokens, tp int) int64 {
+	if tp < 1 {
+		tp = 1
+	}
+	return l.KVBytes(tokens) / int64(tp)
+}
+
+// effTFLOPs is the per-class sustained compute used for prefill estimates.
+var effTFLOPs = map[Class]float64{
+	ClassA10:  18,
+	ClassV100: 60,
+	ClassA100: 160,
+	ClassH800: 350,
+}
+
+// PrefillLatency estimates time to prefill a prompt of the given token count
+// on tp GPUs of class c (2·params FLOPs per token, 85% TP scaling
+// efficiency).
+func (l *LLM) PrefillLatency(c Class, tokens, tp int) time.Duration {
+	if tp < 1 {
+		tp = 1
+	}
+	flops := 2 * l.ParamsB * 1e9 * float64(tokens)
+	agg := effTFLOPs[c] * 1e12 * float64(tp)
+	if tp > 1 {
+		agg *= 0.85
+	}
+	return time.Duration(flops / agg * float64(time.Second))
+}
+
+// DecodeLatencyPerToken estimates the per-output-token decode latency
+// (memory-bandwidth-bound; coarse, only used for stage service times).
+func (l *LLM) DecodeLatencyPerToken(c Class, tp int) time.Duration {
+	base := time.Duration(l.ParamsB/7*20) * time.Millisecond / 2 // ≈10ms per 7B
+	if tp < 1 {
+		tp = 1
+	}
+	return time.Duration(float64(base) / (float64(tp) * 0.85))
+}
+
+var llms = map[string]*LLM{
+	"llama-7b":  {Name: "llama-7b", ParamsB: 7, Layers: 32, KVHeads: 32, HeadDim: 128, BytesPerElem: 2},
+	"llama-13b": {Name: "llama-13b", ParamsB: 13, Layers: 40, KVHeads: 40, HeadDim: 128, BytesPerElem: 2},
+	"qwen-32b":  {Name: "qwen-32b", ParamsB: 32, Layers: 64, KVHeads: 8, HeadDim: 128, BytesPerElem: 2},
+	"llama-70b": {Name: "llama-70b", ParamsB: 70, Layers: 80, KVHeads: 8, HeadDim: 128, BytesPerElem: 2},
+}
+
+// LookupLLM returns the named LLM profile.
+func LookupLLM(name string) (*LLM, error) {
+	l, ok := llms[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown LLM %q", name)
+	}
+	return l, nil
+}
+
+// MustLookupLLM panics on an unknown name; for static experiment tables.
+func MustLookupLLM(name string) *LLM {
+	l, err := LookupLLM(name)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,178 @@
+// Package models holds calibrated performance profiles for the inference
+// models used by the paper's six workflows, plus LLM profiles for the
+// Mixture-of-Agents experiments.
+//
+// A profile gives a model's compute latency (linear in batch size, per the
+// predictability assumption of §4.3.2) and the sizes of its input and output
+// tensors, which drive all data-passing volumes. Latencies are calibrated on
+// a V100 baseline and scaled by device class; they reproduce published
+// magnitudes, not exact testbed numbers.
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"grouter/internal/topology"
+)
+
+// KB and MB are byte sizes used by profile definitions.
+const (
+	KB = int64(1) << 10
+	MB = int64(1) << 20
+)
+
+// Class identifies a GPU device generation for latency scaling.
+type Class int
+
+// Device classes in ascending compute capability.
+const (
+	ClassA10 Class = iota
+	ClassV100
+	ClassA100
+	ClassH800
+)
+
+// speedup is each class's compute speed relative to V100.
+var speedup = map[Class]float64{
+	ClassA10:  0.6,
+	ClassV100: 1.0,
+	ClassA100: 2.4,
+	ClassH800: 3.6,
+}
+
+// ClassOf maps a topology spec to its device class.
+func ClassOf(spec *topology.Spec) Class {
+	switch spec.Name {
+	case "dgx-v100":
+		return ClassV100
+	case "dgx-a100":
+		return ClassA100
+	case "h800x8":
+		return ClassH800
+	case "quad-a10":
+		return ClassA10
+	}
+	return ClassV100
+}
+
+// Profile describes one model or data-processing operator.
+type Profile struct {
+	Name string
+	// Base and PerItem define V100 latency: Base + PerItem×batch.
+	Base    time.Duration
+	PerItem time.Duration
+	// InBytesPerItem and OutBytesPerItem size the tensors moved per request
+	// item.
+	InBytesPerItem  int64
+	OutBytesPerItem int64
+	// CPUOnly marks a cFn (runs on host CPU; latency is not class-scaled).
+	CPUOnly bool
+	// WeightsBytes is the model's parameter footprint, loaded from host
+	// memory on a cold start.
+	WeightsBytes int64
+}
+
+// Latency returns compute latency for a batch on the given device class.
+func (p *Profile) Latency(c Class, batch int) time.Duration {
+	if batch < 1 {
+		batch = 1
+	}
+	lat := p.Base + time.Duration(batch)*p.PerItem
+	if p.CPUOnly {
+		return lat
+	}
+	s := speedup[c]
+	if s == 0 {
+		s = 1
+	}
+	return time.Duration(float64(lat) / s)
+}
+
+// InBytes returns the input tensor size for a batch.
+func (p *Profile) InBytes(batch int) int64 {
+	if batch < 1 {
+		batch = 1
+	}
+	return p.InBytesPerItem * int64(batch)
+}
+
+// OutBytes returns the output tensor size for a batch.
+func (p *Profile) OutBytes(batch int) int64 {
+	if batch < 1 {
+		batch = 1
+	}
+	return p.OutBytesPerItem * int64(batch)
+}
+
+// registry of the operators appearing in the paper's workflows (Fig. 12).
+var registry = map[string]*Profile{
+	// Traffic monitoring (Boggart-style).
+	"video-decode": {Name: "video-decode", Base: 2 * time.Millisecond, PerItem: 1500 * time.Microsecond,
+		InBytesPerItem: 2 * MB, OutBytesPerItem: 6 * MB, CPUOnly: true},
+	"preprocess": {Name: "preprocess", Base: 500 * time.Microsecond, PerItem: 200 * time.Microsecond,
+		InBytesPerItem: 6 * MB, OutBytesPerItem: 4 * MB, WeightsBytes: 8 * MB},
+	"yolo-det": {Name: "yolo-det", Base: 2 * time.Millisecond, PerItem: 1200 * time.Microsecond,
+		InBytesPerItem: 4 * MB, OutBytesPerItem: 2400 * KB, WeightsBytes: 84 * MB},
+	"postprocess": {Name: "postprocess", Base: 300 * time.Microsecond, PerItem: 100 * time.Microsecond,
+		InBytesPerItem: 2400 * KB, OutBytesPerItem: 2400 * KB, WeightsBytes: 4 * MB},
+	"person-recog": {Name: "person-recog", Base: 1 * time.Millisecond, PerItem: 600 * time.Microsecond,
+		InBytesPerItem: 1200 * KB, OutBytesPerItem: 4 * KB, WeightsBytes: 98 * MB},
+	"car-recog": {Name: "car-recog", Base: 1 * time.Millisecond, PerItem: 600 * time.Microsecond,
+		InBytesPerItem: 1200 * KB, OutBytesPerItem: 4 * KB, WeightsBytes: 98 * MB},
+
+	// Driving / road segmentation (AdaInf-style).
+	"denoise": {Name: "denoise", Base: 500 * time.Microsecond, PerItem: 400 * time.Microsecond,
+		InBytesPerItem: 3 * MB, OutBytesPerItem: 3 * MB, WeightsBytes: 12 * MB},
+	"segmentation": {Name: "segmentation", Base: 3 * time.Millisecond, PerItem: 2500 * time.Microsecond,
+		InBytesPerItem: 3 * MB, OutBytesPerItem: 3 * MB, WeightsBytes: 240 * MB},
+	"colorize": {Name: "colorize", Base: 400 * time.Microsecond, PerItem: 200 * time.Microsecond,
+		InBytesPerItem: 3 * MB, OutBytesPerItem: 2250 * KB, WeightsBytes: 6 * MB},
+
+	// Video / face pipeline (Aquatope-style). Chunk loaders are I/O heavy.
+	"chunk-load": {Name: "chunk-load", Base: 2 * time.Millisecond, PerItem: 1500 * time.Microsecond,
+		InBytesPerItem: 8 * MB, OutBytesPerItem: 16 * MB, CPUOnly: true},
+	"face-det": {Name: "face-det", Base: 1500 * time.Microsecond, PerItem: 1 * time.Millisecond,
+		InBytesPerItem: 16 * MB, OutBytesPerItem: 1800 * KB, WeightsBytes: 104 * MB},
+	"face-recog": {Name: "face-recog", Base: 800 * time.Microsecond, PerItem: 500 * time.Microsecond,
+		InBytesPerItem: 1800 * KB, OutBytesPerItem: 2 * KB, WeightsBytes: 90 * MB},
+
+	// Image classification ensemble (Cocktail-style).
+	"resnet50": {Name: "resnet50", Base: 1 * time.Millisecond, PerItem: 600 * time.Microsecond,
+		InBytesPerItem: 600 * KB, OutBytesPerItem: 4 * KB, WeightsBytes: 98 * MB},
+	"resnet101": {Name: "resnet101", Base: 1500 * time.Microsecond, PerItem: 1 * time.Millisecond,
+		InBytesPerItem: 600 * KB, OutBytesPerItem: 4 * KB, WeightsBytes: 170 * MB},
+	"efficientnet": {Name: "efficientnet", Base: 1200 * time.Microsecond, PerItem: 800 * time.Microsecond,
+		InBytesPerItem: 600 * KB, OutBytesPerItem: 4 * KB, WeightsBytes: 52 * MB},
+	"inception": {Name: "inception", Base: 1300 * time.Microsecond, PerItem: 900 * time.Microsecond,
+		InBytesPerItem: 600 * KB, OutBytesPerItem: 4 * KB, WeightsBytes: 92 * MB},
+	"aggregate": {Name: "aggregate", Base: 200 * time.Microsecond, PerItem: 20 * time.Microsecond,
+		InBytesPerItem: 16 * KB, OutBytesPerItem: 4 * KB, CPUOnly: true},
+}
+
+// Lookup returns the named profile or an error listing the valid names.
+func Lookup(name string) (*Profile, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for static workflow definitions; it panics on a typo.
+func MustLookup(name string) *Profile {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns all registered profile names (unordered).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package models
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/topology"
+)
+
+func TestLookupKnownAndUnknown(t *testing.T) {
+	if _, err := Lookup("yolo-det"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("not-a-model"); err == nil {
+		t.Error("unknown model should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on unknown name")
+		}
+	}()
+	MustLookup("not-a-model")
+}
+
+func TestLatencyLinearInBatch(t *testing.T) {
+	p := MustLookup("yolo-det")
+	l1 := p.Latency(ClassV100, 1)
+	l2 := p.Latency(ClassV100, 2)
+	l4 := p.Latency(ClassV100, 4)
+	if l2-l1 != p.PerItem || l4-l2 != 2*p.PerItem {
+		t.Errorf("latency not linear: %v %v %v", l1, l2, l4)
+	}
+	// Batch < 1 clamps to 1.
+	if p.Latency(ClassV100, 0) != l1 {
+		t.Error("batch 0 should behave as batch 1")
+	}
+}
+
+func TestClassScaling(t *testing.T) {
+	p := MustLookup("segmentation")
+	v := p.Latency(ClassV100, 8)
+	a := p.Latency(ClassA100, 8)
+	a10 := p.Latency(ClassA10, 8)
+	if !(a < v && v < a10) {
+		t.Errorf("class ordering wrong: A100=%v V100=%v A10=%v", a, v, a10)
+	}
+}
+
+func TestCPUOnlyNotScaled(t *testing.T) {
+	p := MustLookup("video-decode")
+	if p.Latency(ClassV100, 4) != p.Latency(ClassA100, 4) {
+		t.Error("CPU function latency should not depend on GPU class")
+	}
+}
+
+func TestBytesScaleWithBatch(t *testing.T) {
+	p := MustLookup("preprocess")
+	if p.OutBytes(8) != 8*p.OutBytesPerItem {
+		t.Errorf("OutBytes(8) = %d", p.OutBytes(8))
+	}
+	if p.InBytes(0) != p.InBytesPerItem {
+		t.Errorf("InBytes(0) = %d, want one item", p.InBytes(0))
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		spec *topology.Spec
+		want Class
+	}{
+		{topology.DGXV100(), ClassV100},
+		{topology.DGXA100(), ClassA100},
+		{topology.H800x8(), ClassH800},
+		{topology.QuadA10(), ClassA10},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.spec); got != c.want {
+			t.Errorf("ClassOf(%s) = %v, want %v", c.spec.Name, got, c.want)
+		}
+	}
+}
+
+func TestAllProfilesSane(t *testing.T) {
+	for _, name := range Names() {
+		p := MustLookup(name)
+		if p.Latency(ClassV100, 1) <= 0 {
+			t.Errorf("%s: non-positive latency", name)
+		}
+		if p.OutBytesPerItem <= 0 || p.InBytesPerItem <= 0 {
+			t.Errorf("%s: non-positive tensor sizes", name)
+		}
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	l := MustLookupLLM("llama-7b")
+	// 2 × 32 layers × 32 heads × 128 dim × 2 bytes = 512 KiB/token.
+	if got := l.KVBytesPerToken(); got != 512*KB {
+		t.Errorf("7B KV/token = %d, want %d", got, 512*KB)
+	}
+	if l.KVBytes(4096) != 4096*512*KB {
+		t.Errorf("KVBytes(4096) = %d", l.KVBytes(4096))
+	}
+}
+
+func TestKVShardingUnderTP(t *testing.T) {
+	l := MustLookupLLM("llama-70b")
+	full := l.KVBytes(1000)
+	if got := l.KVBytesPerGPU(1000, 8); got != full/8 {
+		t.Errorf("TP=8 shard = %d, want %d", got, full/8)
+	}
+	if got := l.KVBytesPerGPU(1000, 0); got != full {
+		t.Errorf("TP=0 clamps to 1, got %d", got)
+	}
+}
+
+func TestPrefillLatencyShape(t *testing.T) {
+	l7 := MustLookupLLM("llama-7b")
+	l70 := MustLookupLLM("llama-70b")
+	// Bigger models and longer prompts take longer; more TP is faster.
+	if !(l70.PrefillLatency(ClassH800, 4096, 1) > l7.PrefillLatency(ClassH800, 4096, 1)) {
+		t.Error("70B prefill should exceed 7B")
+	}
+	if !(l7.PrefillLatency(ClassH800, 8192, 1) > l7.PrefillLatency(ClassH800, 4096, 1)) {
+		t.Error("longer prompt should take longer")
+	}
+	tp1 := l70.PrefillLatency(ClassH800, 4096, 1)
+	tp8 := l70.PrefillLatency(ClassH800, 4096, 8)
+	if !(tp8 < tp1) {
+		t.Error("TP should reduce prefill latency")
+	}
+	// Magnitude: 7B, 4K tokens on H800 should be O(100ms).
+	got := l7.PrefillLatency(ClassH800, 4096, 1)
+	if got < 50*time.Millisecond || got > 500*time.Millisecond {
+		t.Errorf("7B/4K prefill = %v, want O(100ms)", got)
+	}
+}
+
+func TestDecodeLatencyScalesWithSizeAndTP(t *testing.T) {
+	l7 := MustLookupLLM("llama-7b")
+	l13 := MustLookupLLM("llama-13b")
+	if !(l13.DecodeLatencyPerToken(ClassH800, 1) > l7.DecodeLatencyPerToken(ClassH800, 1)) {
+		t.Error("13B decode should exceed 7B")
+	}
+	if !(l7.DecodeLatencyPerToken(ClassH800, 4) < l7.DecodeLatencyPerToken(ClassH800, 1)) {
+		t.Error("TP should reduce decode latency")
+	}
+}

@@ -1,0 +1,456 @@
+// Package netsim is a flow-level network simulator over a topology link
+// graph. A Flow moves a byte count across an ordered set of directed links;
+// the simulator continuously assigns each flow a rate using max-min fair
+// water-filling with three extensions needed by GROUTER's transfer
+// scheduling:
+//
+//   - min-rate reservations (SLO guarantees, granted greedily in priority
+//     order before fair sharing),
+//   - max-rate caps (bandwidth partitioning of background traffic), and
+//   - priority tiers (idle bandwidth goes to the tightest-SLO tier first).
+//
+// Rates are recomputed whenever the flow set or any flow's constraints
+// change; flow progress is advanced lazily between recomputations, so the
+// model is exact for piecewise-constant rate schedules.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// finishEpsilon is the residual byte count below which a flow is complete
+// (absorbs floating-point drift).
+const finishEpsilon = 0.5
+
+// Network simulates a set of capacity-annotated links shared by flows.
+type Network struct {
+	engine *sim.Engine
+	links  map[topology.LinkID]*link
+	flows  map[*Flow]struct{}
+	seq    int64
+
+	recomputePending bool
+	completionGen    int64
+}
+
+type link struct {
+	id       topology.LinkID
+	capacity float64
+}
+
+// Flow is one in-flight transfer over a fixed link path.
+type Flow struct {
+	label    string
+	path     []topology.LinkID
+	seq      int64
+	minRate  float64
+	maxRate  float64 // 0 = unlimited
+	priority int
+
+	rate       float64
+	remaining  float64
+	lastUpdate time.Duration
+	done       *sim.Signal
+	canceled   bool
+	net        *Network
+}
+
+// Options constrain a flow's rate allocation.
+type Options struct {
+	// MinRate is a reserved rate in bytes/s (best-effort guaranteed before
+	// fair sharing).
+	MinRate float64
+	// MaxRate caps the flow's rate in bytes/s; 0 means unlimited.
+	MaxRate float64
+	// Priority orders tiers for idle-bandwidth distribution; higher tiers
+	// fill first.
+	Priority int
+}
+
+// New builds a network over the given links.
+func New(e *sim.Engine, links []topology.Link) *Network {
+	n := &Network{
+		engine: e,
+		links:  make(map[topology.LinkID]*link, len(links)),
+		flows:  make(map[*Flow]struct{}),
+	}
+	for _, l := range links {
+		n.AddLink(l)
+	}
+	return n
+}
+
+// AddLink registers a link. Re-adding an existing ID replaces its capacity.
+func (n *Network) AddLink(l topology.Link) {
+	if l.Bps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s has non-positive capacity", l.ID))
+	}
+	n.links[l.ID] = &link{id: l.ID, capacity: l.Bps}
+}
+
+// HasLink reports whether id is registered.
+func (n *Network) HasLink(id topology.LinkID) bool {
+	_, ok := n.links[id]
+	return ok
+}
+
+// Capacity returns a link's capacity in bytes/s.
+func (n *Network) Capacity(id topology.LinkID) float64 {
+	l, ok := n.links[id]
+	if !ok {
+		return 0
+	}
+	return l.capacity
+}
+
+// Start launches a flow of the given byte size over path. A zero-byte flow
+// completes at the current instant. Start panics on an unknown link, which
+// indicates a path-construction bug.
+func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt Options) *Flow {
+	for _, id := range path {
+		if _, ok := n.links[id]; !ok {
+			panic(fmt.Sprintf("netsim: flow %q uses unknown link %s", label, id))
+		}
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: flow %q has negative size", label))
+	}
+	n.seq++
+	f := &Flow{
+		label:      label,
+		path:       append([]topology.LinkID(nil), path...),
+		seq:        n.seq,
+		minRate:    opt.MinRate,
+		maxRate:    opt.MaxRate,
+		priority:   opt.Priority,
+		remaining:  bytes,
+		lastUpdate: n.engine.Now(),
+		done:       sim.NewSignal(n.engine),
+		net:        n,
+	}
+	if bytes <= finishEpsilon || len(path) == 0 {
+		f.remaining = 0
+		n.engine.Schedule(0, f.done.Fire)
+		return f
+	}
+	n.flows[f] = struct{}{}
+	n.scheduleRecompute()
+	return f
+}
+
+// Done returns the flow's completion signal.
+func (f *Flow) Done() *sim.Signal { return f.done }
+
+// Label returns the flow's label.
+func (f *Flow) Label() string { return f.label }
+
+// Rate returns the flow's current allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer as of the current instant.
+func (f *Flow) Remaining() float64 {
+	if f.done.Fired() || f.canceled {
+		return 0
+	}
+	elapsed := (f.net.engine.Now() - f.lastUpdate).Seconds()
+	rem := f.remaining - f.rate*elapsed
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// SetOptions updates the flow's constraints and triggers a rate
+// recomputation.
+func (f *Flow) SetOptions(opt Options) {
+	if f.done.Fired() || f.canceled {
+		return
+	}
+	f.minRate = opt.MinRate
+	f.maxRate = opt.MaxRate
+	f.priority = opt.Priority
+	f.net.scheduleRecompute()
+}
+
+// Cancel aborts the flow without firing its done signal.
+func (n *Network) Cancel(f *Flow) {
+	if _, ok := n.flows[f]; !ok {
+		return
+	}
+	n.advanceAll()
+	f.canceled = true
+	delete(n.flows, f)
+	n.scheduleRecompute()
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// AllocatedOn returns the total rate currently allocated on a link.
+func (n *Network) AllocatedOn(id topology.LinkID) float64 {
+	total := 0.0
+	for f := range n.flows {
+		for _, lid := range f.path {
+			if lid == id {
+				total += f.rate
+				break
+			}
+		}
+	}
+	return total
+}
+
+// Utilization snapshots every link's allocated fraction (0..1). Useful for
+// debugging contention in experiments.
+func (n *Network) Utilization() map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64, len(n.links))
+	for id, l := range n.links {
+		out[id] = 0
+		if l.capacity > 0 {
+			out[id] = n.AllocatedOn(id) / l.capacity
+		}
+	}
+	return out
+}
+
+// FreeOn returns a link's unallocated capacity.
+func (n *Network) FreeOn(id topology.LinkID) float64 {
+	l, ok := n.links[id]
+	if !ok {
+		return 0
+	}
+	free := l.capacity - n.AllocatedOn(id)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// scheduleRecompute debounces rate recomputation to once per instant.
+func (n *Network) scheduleRecompute() {
+	if n.recomputePending {
+		return
+	}
+	n.recomputePending = true
+	n.engine.Schedule(0, func() {
+		n.recomputePending = false
+		n.recompute()
+	})
+}
+
+// advanceAll credits every flow's progress up to the current instant.
+func (n *Network) advanceAll() {
+	now := n.engine.Now()
+	for f := range n.flows {
+		elapsed := (now - f.lastUpdate).Seconds()
+		if elapsed > 0 {
+			f.remaining -= f.rate * elapsed
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastUpdate = now
+	}
+}
+
+// recompute advances progress, retires finished flows, reassigns rates, and
+// schedules the next completion event.
+func (n *Network) recompute() {
+	n.advanceAll()
+
+	var finished []*Flow
+	for f := range n.flows {
+		if f.remaining <= finishEpsilon {
+			finished = append(finished, f)
+		}
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, f := range finished {
+		f.remaining = 0
+		f.rate = 0
+		delete(n.flows, f)
+		f.done.Fire()
+	}
+
+	n.allocate()
+
+	// Schedule the earliest completion. A generation counter invalidates
+	// stale events from previous schedules.
+	n.completionGen++
+	gen := n.completionGen
+	earliest := math.Inf(1)
+	for f := range n.flows {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < earliest {
+				earliest = t
+			}
+		}
+	}
+	if math.IsInf(earliest, 1) {
+		return
+	}
+	// Round the completion up to the next nanosecond: rounding down can
+	// schedule the event at the current instant with zero progress, looping
+	// forever.
+	delay := time.Duration(math.Ceil(earliest * float64(time.Second)))
+	if delay <= 0 {
+		delay = 1
+	}
+	n.engine.Schedule(delay, func() {
+		if gen != n.completionGen {
+			return
+		}
+		n.recompute()
+	})
+}
+
+// allocate assigns rates: greedy min-rate reservations in (priority, seq)
+// order, then per-tier max-min water-filling of the residual capacity.
+func (n *Network) allocate() {
+	if len(n.flows) == 0 {
+		return
+	}
+	free := make(map[topology.LinkID]float64, len(n.links))
+	for id, l := range n.links {
+		free[id] = l.capacity
+	}
+
+	flows := make([]*Flow, 0, len(n.flows))
+	for f := range n.flows {
+		f.rate = 0
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].priority != flows[j].priority {
+			return flows[i].priority > flows[j].priority
+		}
+		return flows[i].seq < flows[j].seq
+	})
+
+	// Phase 1: reservations.
+	for _, f := range flows {
+		want := f.minRate
+		if f.maxRate > 0 && want > f.maxRate {
+			want = f.maxRate
+		}
+		if want <= 0 {
+			continue
+		}
+		grant := want
+		for _, id := range f.path {
+			if free[id] < grant {
+				grant = free[id]
+			}
+		}
+		if grant <= 0 {
+			continue
+		}
+		f.rate = grant
+		for _, id := range f.path {
+			free[id] -= grant
+		}
+	}
+
+	// Phase 2: per-tier water-filling, highest priority first.
+	for lo := 0; lo < len(flows); {
+		hi := lo
+		for hi < len(flows) && flows[hi].priority == flows[lo].priority {
+			hi++
+		}
+		waterFill(flows[lo:hi], free)
+		lo = hi
+	}
+}
+
+// waterFill distributes residual link capacity among tier flows by
+// progressive filling: repeatedly raise all unfrozen flows by the largest
+// uniform increment any link or cap allows, freezing flows that hit a cap or
+// a saturated link.
+func waterFill(tier []*Flow, free map[topology.LinkID]float64) {
+	type state struct {
+		f      *Flow
+		frozen bool
+	}
+	states := make([]state, len(tier))
+	active := 0
+	for i, f := range tier {
+		states[i].f = f
+		if f.maxRate > 0 && f.rate >= f.maxRate {
+			states[i].frozen = true
+		} else {
+			active++
+		}
+	}
+	// Rates are resolved to 1 byte/s; below that, further filling is
+	// floating-point noise.
+	const eps = 1.0
+	for active > 0 {
+		// Freeze flows that can make no further progress: at their cap, or
+		// crossing a saturated link.
+		for i := range states {
+			if states[i].frozen {
+				continue
+			}
+			f := states[i].f
+			if f.maxRate > 0 && f.rate >= f.maxRate-eps {
+				states[i].frozen = true
+				active--
+				continue
+			}
+			for _, id := range f.path {
+				if free[id] <= eps {
+					states[i].frozen = true
+					active--
+					break
+				}
+			}
+		}
+		if active == 0 {
+			return
+		}
+		linkCount := map[topology.LinkID]int{}
+		for _, s := range states {
+			if s.frozen {
+				continue
+			}
+			for _, id := range s.f.path {
+				linkCount[id]++
+			}
+		}
+		// delta = largest uniform rate increment all constraints allow.
+		delta := math.Inf(1)
+		for id, cnt := range linkCount {
+			if d := free[id] / float64(cnt); d < delta {
+				delta = d
+			}
+		}
+		for _, s := range states {
+			if s.frozen {
+				continue
+			}
+			if s.f.maxRate > 0 {
+				if d := s.f.maxRate - s.f.rate; d < delta {
+					delta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) || delta <= eps {
+			return
+		}
+		for i := range states {
+			if states[i].frozen {
+				continue
+			}
+			states[i].f.rate += delta
+			for _, id := range states[i].f.path {
+				free[id] -= delta
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// TestPropertyConservationAndCompletion drives randomized flow sets over a
+// random small link graph and checks the two core invariants of the flow
+// simulator: (1) at every observation instant no link carries more than its
+// capacity, and (2) every flow eventually completes and its completion time
+// is at least bytes / bottleneck-capacity.
+func TestPropertyConservationAndCompletion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		defer e.Close()
+
+		links := make([]topology.Link, 0, 4)
+		caps := map[topology.LinkID]float64{}
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			id := topology.LinkID(string(rune('a' + i)))
+			c := float64(10 + rng.Intn(1000))
+			links = append(links, topology.Link{ID: id, Bps: c})
+			caps[id] = c
+		}
+		net := New(e, links)
+
+		type flowInfo struct {
+			flow   *Flow
+			bytes  float64
+			minCap float64
+			start  time.Duration
+			end    time.Duration
+		}
+		var flows []*flowInfo
+		nFlows := 1 + rng.Intn(6)
+		for i := 0; i < nFlows; i++ {
+			// Random subpath of the links.
+			var path []topology.LinkID
+			minCap := math.Inf(1)
+			for _, l := range links {
+				if rng.Intn(2) == 0 || len(path) == 0 {
+					path = append(path, l.ID)
+					if caps[l.ID] < minCap {
+						minCap = caps[l.ID]
+					}
+				}
+			}
+			bytes := float64(1 + rng.Intn(100000))
+			fi := &flowInfo{bytes: bytes, minCap: minCap}
+			delay := time.Duration(rng.Intn(1000)) * time.Millisecond
+			e.GoAfter(delay, "flow", func(p *sim.Proc) {
+				fi.start = p.Now()
+				fi.flow = net.Start("f", path, bytes, Options{})
+				fi.flow.Done().Wait(p)
+				fi.end = p.Now()
+			})
+			flows = append(flows, fi)
+		}
+		// Observer checks conservation periodically.
+		ok := true
+		e.GoAfter(0, "observer", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(100 * time.Millisecond)
+				for id, c := range caps {
+					if net.AllocatedOn(id) > c*1.001 {
+						ok = false
+					}
+				}
+			}
+		})
+		e.Run(0)
+		if !ok {
+			return false
+		}
+		for _, fi := range flows {
+			if fi.flow == nil || !fi.flow.Done().Fired() {
+				return false
+			}
+			minTime := fi.bytes / fi.minCap
+			if (fi.end - fi.start).Seconds() < minTime*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package scheduler places workflow function instances onto cluster GPUs.
+// The default strategy follows MAPA (§5): communicating GPU-function pairs
+// are assigned, heaviest data edge first, to GPU pairs with the best NVLink
+// connectivity, balancing instance load across devices. Round-robin and
+// random strategies exist for comparison and for placement-agnostic
+// experiments.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"grouter/internal/fabric"
+	"grouter/internal/topology"
+	"grouter/internal/workflow"
+)
+
+// Strategy selects a placement algorithm.
+type Strategy int
+
+const (
+	// MAPA places communicating pairs on well-connected GPUs.
+	MAPA Strategy = iota
+	// RoundRobin spreads instances over GPUs in order.
+	RoundRobin
+	// Random places instances uniformly at random (seeded).
+	Random
+)
+
+// StageInst identifies one replica of one stage.
+type StageInst struct {
+	Stage   string
+	Replica int
+}
+
+func (si StageInst) String() string { return fmt.Sprintf("%s#%d", si.Stage, si.Replica) }
+
+// Placement maps stage instances to physical locations.
+type Placement map[StageInst]fabric.Location
+
+// Options tune one Place call.
+type Options struct {
+	// Node pins the app to a node; -1 picks the least-loaded node.
+	Node int
+	// SplitAcrossNodes distributes consecutive GPU stages over all nodes
+	// (the "functions distributed across nodes" setting of Fig. 13/15).
+	SplitAcrossNodes bool
+	Strategy         Strategy
+	Seed             int64
+}
+
+// Placer assigns locations and tracks accumulated load for balancing across
+// multiple deployed apps.
+type Placer struct {
+	cluster *topology.Cluster
+	load    [][]int // [node][gpu] assigned instance count
+}
+
+// NewPlacer builds a placer over the cluster.
+func NewPlacer(c *topology.Cluster) *Placer {
+	p := &Placer{cluster: c}
+	for range c.Nodes {
+		p.load = append(p.load, make([]int, c.Spec.NumGPUs))
+	}
+	return p
+}
+
+// nodeLoad sums a node's GPU load.
+func (p *Placer) nodeLoad(n int) int {
+	t := 0
+	for _, l := range p.load[n] {
+		t += l
+	}
+	return t
+}
+
+// leastLoadedNode picks the node with minimum load (lowest index on ties).
+func (p *Placer) leastLoadedNode() int {
+	best := 0
+	for n := 1; n < len(p.load); n++ {
+		if p.nodeLoad(n) < p.nodeLoad(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// leastLoadedGPU picks a GPU on node n (lowest index on ties), optionally
+// restricted to a candidate set.
+func (p *Placer) leastLoadedGPU(n int, among []int) int {
+	if among == nil {
+		among = make([]int, p.cluster.Spec.NumGPUs)
+		for i := range among {
+			among[i] = i
+		}
+	}
+	best := among[0]
+	for _, g := range among[1:] {
+		if p.load[n][g] < p.load[n][best] {
+			best = g
+		}
+	}
+	return best
+}
+
+// Place assigns every stage instance of wf a location.
+func (p *Placer) Place(wf *workflow.Workflow, opt Options) Placement {
+	out := Placement{}
+	node := opt.Node
+	if node < 0 {
+		node = p.leastLoadedNode()
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 11))
+
+	// cFns run on their node's host.
+	var gpuInsts []StageInst
+	instNode := map[StageInst]int{}
+	nodeCursor := node
+	for _, s := range wf.Stages {
+		for r := 0; r < s.ReplicaCount(); r++ {
+			si := StageInst{Stage: s.Name, Replica: r}
+			n := node
+			if opt.SplitAcrossNodes && len(p.load) > 1 {
+				n = nodeCursor
+				nodeCursor = (nodeCursor + 1) % len(p.load)
+			}
+			instNode[si] = n
+			if !s.IsGPU() {
+				out[si] = fabric.Location{Node: n, GPU: fabric.HostGPU}
+				continue
+			}
+			gpuInsts = append(gpuInsts, si)
+		}
+	}
+
+	switch opt.Strategy {
+	case RoundRobin:
+		for _, si := range gpuInsts {
+			n := instNode[si]
+			g := p.leastLoadedGPU(n, nil)
+			out[si] = fabric.Location{Node: n, GPU: g}
+			p.load[n][g]++
+		}
+	case Random:
+		for _, si := range gpuInsts {
+			n := instNode[si]
+			g := rng.Intn(p.cluster.Spec.NumGPUs)
+			out[si] = fabric.Location{Node: n, GPU: g}
+			p.load[n][g]++
+		}
+	default:
+		p.placeMAPA(wf, gpuInsts, instNode, out)
+	}
+	return out
+}
+
+// PlaceSingle provisions one additional GPU instance on node n, on the
+// least-loaded GPU (used by the cluster autoscaler).
+func (p *Placer) PlaceSingle(n int) fabric.Location {
+	g := p.leastLoadedGPU(n, nil)
+	p.load[n][g]++
+	return fabric.Location{Node: n, GPU: g}
+}
+
+// edge is one producer→consumer instance pair with its data volume.
+type edge struct {
+	from, to StageInst
+	bytes    int64
+}
+
+// instanceEdges expands the stage DAG into instance-level edges (pairwise
+// for equal replica counts, broadcast/fan-in otherwise).
+func instanceEdges(wf *workflow.Workflow) []edge {
+	var out []edge
+	for _, s := range wf.Stages {
+		for _, dn := range s.Deps {
+			d := wf.Stage(dn)
+			bytes := workflow.EdgeBytes(d, wf.Batch)
+			sr, dr := s.ReplicaCount(), d.ReplicaCount()
+			if sr == dr && sr > 1 {
+				for r := 0; r < sr; r++ {
+					out = append(out, edge{from: StageInst{dn, r}, to: StageInst{s.Name, r}, bytes: bytes})
+				}
+				continue
+			}
+			for i := 0; i < dr; i++ {
+				for j := 0; j < sr; j++ {
+					out = append(out, edge{from: StageInst{dn, i}, to: StageInst{s.Name, j}, bytes: bytes})
+				}
+			}
+		}
+	}
+	// Heaviest first; deterministic tie-break.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].bytes > out[j].bytes })
+	return out
+}
+
+// placeMAPA greedily co-locates heavy-edge pairs on well-connected GPUs.
+func (p *Placer) placeMAPA(wf *workflow.Workflow, gpuInsts []StageInst,
+	instNode map[StageInst]int, out Placement) {
+
+	isGPUInst := map[StageInst]bool{}
+	for _, si := range gpuInsts {
+		isGPUInst[si] = true
+	}
+	spec := p.cluster.Spec
+
+	// bestPeer returns the GPU with the strongest NVLink to g, least loaded.
+	bestPeer := func(n, g int) int {
+		best, bestScore := (g+1)%spec.NumGPUs, math.Inf(-1)
+		for cand := 0; cand < spec.NumGPUs; cand++ {
+			if cand == g {
+				continue
+			}
+			score := spec.NVLinkBps(g, cand) - float64(p.load[n][cand])*1e9
+			if score > bestScore {
+				best, bestScore = cand, score
+			}
+		}
+		return best
+	}
+
+	for _, e := range instanceEdges(wf) {
+		gFrom, gTo := isGPUInst[e.from], isGPUInst[e.to]
+		if !gFrom && !gTo {
+			continue
+		}
+		nFrom, nTo := instNode[e.from], instNode[e.to]
+		_, fromPlaced := out[e.from]
+		_, toPlaced := out[e.to]
+		switch {
+		case gFrom && gTo && !fromPlaced && !toPlaced && nFrom == nTo:
+			// Pick the least-loaded strongest NVLink pair.
+			bi, bj, bScore := 0, 1%spec.NumGPUs, math.Inf(-1)
+			for i := 0; i < spec.NumGPUs; i++ {
+				for j := 0; j < spec.NumGPUs; j++ {
+					if i == j {
+						continue
+					}
+					score := spec.NVLinkBps(i, j) - float64(p.load[nFrom][i]+p.load[nFrom][j])*1e9
+					if score > bScore {
+						bi, bj, bScore = i, j, score
+					}
+				}
+			}
+			out[e.from] = fabric.Location{Node: nFrom, GPU: bi}
+			out[e.to] = fabric.Location{Node: nFrom, GPU: bj}
+			p.load[nFrom][bi]++
+			p.load[nFrom][bj]++
+		case gFrom && !fromPlaced:
+			g := p.leastLoadedGPU(nFrom, nil)
+			if gTo && toPlaced && out[e.to].Node == nFrom && !out[e.to].IsHost() {
+				g = bestPeer(nFrom, out[e.to].GPU)
+			}
+			out[e.from] = fabric.Location{Node: nFrom, GPU: g}
+			p.load[nFrom][g]++
+		}
+		if gTo && !toPlaced {
+			g := p.leastLoadedGPU(nTo, nil)
+			if gFrom {
+				if loc, ok := out[e.from]; ok && loc.Node == nTo && !loc.IsHost() {
+					g = bestPeer(nTo, loc.GPU)
+				}
+			}
+			out[e.to] = fabric.Location{Node: nTo, GPU: g}
+			p.load[nTo][g]++
+		}
+	}
+	// Isolated GPU instances (no edges).
+	for _, si := range gpuInsts {
+		if _, ok := out[si]; !ok {
+			n := instNode[si]
+			g := p.leastLoadedGPU(n, nil)
+			out[si] = fabric.Location{Node: n, GPU: g}
+			p.load[n][g]++
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package scheduler
+
+import (
+	"testing"
+
+	"grouter/internal/topology"
+	"grouter/internal/workflow"
+)
+
+func place(t *testing.T, spec *topology.Spec, nodes int, wf *workflow.Workflow, opt Options) Placement {
+	t.Helper()
+	p := NewPlacer(topology.NewCluster(spec, nodes))
+	return p.Place(wf, opt)
+}
+
+func TestEveryInstancePlaced(t *testing.T) {
+	for _, wf := range workflow.Suite() {
+		pl := place(t, topology.DGXV100(), 1, wf, Options{Node: -1})
+		want := 0
+		for _, s := range wf.Stages {
+			want += s.ReplicaCount()
+		}
+		if len(pl) != want {
+			t.Errorf("%s: placed %d instances, want %d", wf.Name, len(pl), want)
+		}
+		for si, loc := range pl {
+			s := wf.Stage(si.Stage)
+			if s.IsGPU() && loc.IsHost() {
+				t.Errorf("%s: gFn %v on host", wf.Name, si)
+			}
+			if !s.IsGPU() && !loc.IsHost() {
+				t.Errorf("%s: cFn %v on GPU", wf.Name, si)
+			}
+		}
+	}
+}
+
+func TestMAPAPrefersConnectedPairs(t *testing.T) {
+	wf := workflow.Driving()
+	pl := place(t, topology.DGXV100(), 1, wf, Options{Node: -1, Strategy: MAPA})
+	spec := topology.DGXV100()
+	den := pl[StageInst{"denoise", 0}]
+	seg := pl[StageInst{"segmentation", 0}]
+	if den.GPU != seg.GPU && spec.NVLinkBps(den.GPU, seg.GPU) == 0 {
+		t.Errorf("MAPA placed heavy edge on unconnected pair %d,%d", den.GPU, seg.GPU)
+	}
+}
+
+func TestSplitAcrossNodes(t *testing.T) {
+	wf := workflow.Driving()
+	pl := place(t, topology.DGXV100(), 2, wf, Options{Node: -1, SplitAcrossNodes: true})
+	nodes := map[int]bool{}
+	for _, loc := range pl {
+		nodes[loc.Node] = true
+	}
+	if len(nodes) < 2 {
+		t.Errorf("split placement used %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestLoadBalancingAcrossApps(t *testing.T) {
+	p := NewPlacer(topology.NewCluster(topology.DGXV100(), 2))
+	for i := 0; i < 8; i++ {
+		p.Place(workflow.Image(), Options{Node: -1})
+	}
+	// Both nodes should have received work.
+	if p.nodeLoad(0) == 0 || p.nodeLoad(1) == 0 {
+		t.Errorf("load not spread: node0=%d node1=%d", p.nodeLoad(0), p.nodeLoad(1))
+	}
+}
+
+func TestReplicasSpread(t *testing.T) {
+	wf := workflow.Video()
+	pl := place(t, topology.DGXV100(), 1, wf, Options{Node: -1})
+	gpus := map[int]int{}
+	for si, loc := range pl {
+		if si.Stage == "face-det" {
+			gpus[loc.GPU]++
+		}
+	}
+	if len(gpus) < 3 {
+		t.Errorf("face-det replicas on only %d GPUs: %v", len(gpus), gpus)
+	}
+}
+
+func TestRoundRobinAndRandomStrategies(t *testing.T) {
+	wf := workflow.Image()
+	rr := place(t, topology.DGXV100(), 1, wf, Options{Node: -1, Strategy: RoundRobin})
+	rd1 := place(t, topology.DGXV100(), 1, wf, Options{Node: -1, Strategy: Random, Seed: 1})
+	rd2 := place(t, topology.DGXV100(), 1, wf, Options{Node: -1, Strategy: Random, Seed: 1})
+	if len(rr) != len(rd1) {
+		t.Errorf("strategies placed different instance counts")
+	}
+	// Random is deterministic per seed.
+	for si, loc := range rd1 {
+		if rd2[si] != loc {
+			t.Errorf("random placement not deterministic at %v", si)
+		}
+	}
+}
+
+func TestPinnedNode(t *testing.T) {
+	wf := workflow.Driving()
+	pl := place(t, topology.DGXV100(), 3, wf, Options{Node: 2})
+	for si, loc := range pl {
+		if loc.Node != 2 {
+			t.Errorf("instance %v on node %d, want pinned node 2", si, loc.Node)
+		}
+	}
+}

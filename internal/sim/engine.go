@@ -1,0 +1,257 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// SimPy-style cooperative processes.
+//
+// The engine maintains a virtual clock and an event heap ordered by
+// (time, sequence number). Processes are goroutines that run strictly one at
+// a time: the engine wakes a process, the process runs until it blocks on a
+// primitive (Sleep, Signal.Wait, Resource.Acquire, ...), and control returns
+// to the engine. Because only one goroutine is ever runnable and ties are
+// broken by monotonically increasing sequence numbers, a simulation is fully
+// deterministic: the same inputs produce bit-identical schedules.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// use NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    int64
+	events eventHeap
+
+	// yield is the handshake channel on which the currently running process
+	// signals that it has blocked (or finished) and the engine may proceed.
+	yield chan struct{}
+	// kill is closed by Close to terminate processes that are still blocked
+	// when the simulation ends.
+	kill   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// nonDaemon counts queued non-daemon events; Run(0) stops at zero.
+	nonDaemon int
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		kill:  make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+type event struct {
+	at  time.Duration
+	seq int64
+	// daemon events do not keep Run alive: Run(0) returns when only daemon
+	// events remain (background maintenance loops must not prevent a
+	// simulation from completing).
+	daemon bool
+	fn     func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Schedule arranges for fn to run at now+delay. A negative delay is treated
+// as zero. Events at equal times fire in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	e.schedule(delay, false, fn)
+}
+
+// ScheduleDaemon schedules a background-maintenance event that does not keep
+// Run(0) alive.
+func (e *Engine) ScheduleDaemon(delay time.Duration, fn func()) {
+	e.schedule(delay, true, fn)
+}
+
+func (e *Engine) schedule(delay time.Duration, daemon bool, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	if !daemon {
+		e.nonDaemon++
+	}
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, daemon: daemon, fn: fn})
+}
+
+// ScheduleWake schedules p to resume at the current instant, inheriting p's
+// daemon status. External synchronization primitives use it to hand a slot
+// or value to a parked process.
+func (e *Engine) ScheduleWake(p *Proc) {
+	e.schedule(0, p.Daemon, func() { e.wake(p) })
+}
+
+// Run executes events until only daemon events remain, the heap is empty, or
+// the clock would pass until. A zero until runs to completion of all
+// non-daemon activity. It returns the final virtual time.
+func (e *Engine) Run(until time.Duration) time.Duration {
+	for e.events.Len() > 0 {
+		if until == 0 && e.nonDaemon == 0 {
+			return e.now
+		}
+		next := e.events[0]
+		if until > 0 && next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if !next.daemon {
+			e.nonDaemon--
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		next.fn()
+	}
+	return e.now
+}
+
+// Close terminates any processes still blocked on simulation primitives and
+// waits for their goroutines to exit. It must only be called when Run has
+// returned (no process is mid-step). Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.kill)
+	e.wg.Wait()
+}
+
+// procKilled is the panic value used to unwind a process goroutine when the
+// engine shuts down while the process is blocked.
+type procKilled struct{}
+
+// Proc is a cooperative simulation process. All Proc methods must be called
+// from within the process's own body function.
+type Proc struct {
+	Name string
+	// Daemon marks a background-maintenance process whose timer events do
+	// not keep Run(0) alive.
+	Daemon bool
+	engine *Engine
+	resume chan struct{}
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.engine }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.engine.now }
+
+// Go spawns a new process whose body starts at the current virtual time
+// (after already-pending events at this time).
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	return e.GoAfter(0, name, body)
+}
+
+// GoDaemon spawns a daemon process: its sleeps and wakeups never keep
+// Run(0) alive. Use it for periodic maintenance loops.
+func (e *Engine) GoDaemon(name string, body func(p *Proc)) *Proc {
+	p := e.newProc(name, body)
+	p.Daemon = true
+	e.schedule(0, true, func() { e.wake(p) })
+	return p
+}
+
+// GoAfter spawns a new process whose body starts after delay.
+func (e *Engine) GoAfter(delay time.Duration, name string, body func(p *Proc)) *Proc {
+	p := e.newProc(name, body)
+	e.Schedule(delay, func() { e.wake(p) })
+	return p
+}
+
+func (e *Engine) newProc(name string, body func(p *Proc)) *Proc {
+	p := &Proc{Name: name, engine: e, resume: make(chan struct{})}
+	e.wg.Add(1)
+	started := make(chan struct{})
+	go func() {
+		defer e.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); ok {
+					return
+				}
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.Name, r))
+			}
+		}()
+		close(started)
+		p.block()
+		body(p)
+		e.yield <- struct{}{}
+	}()
+	<-started
+	return p
+}
+
+// wake resumes p and waits for it to block again or finish. It must only be
+// called from event context (i.e. while the engine loop is executing an
+// event), never from another process.
+func (e *Engine) wake(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// block parks the calling goroutine until the engine wakes it. Unlike
+// suspend, it does not notify the engine first; it is used only for process
+// startup, where the engine is not yet waiting on the yield channel.
+func (p *Proc) block() {
+	select {
+	case <-p.resume:
+	case <-p.engine.kill:
+		panic(procKilled{})
+	}
+}
+
+// suspend yields control to the engine and parks until woken.
+func (p *Proc) suspend() {
+	p.engine.yield <- struct{}{}
+	p.block()
+}
+
+// Suspend parks the process until some other event wakes it via Engine.Wake.
+// It is the extension point for synchronization primitives built outside
+// this package.
+func (p *Proc) Suspend() { p.suspend() }
+
+// Wake resumes a process parked by Suspend (or any blocking primitive). It
+// must be called from event context — i.e. from a function scheduled on the
+// engine — never directly from another process.
+func (e *Engine) Wake(p *Proc) { e.wake(p) }
+
+// Sleep suspends the process for d of virtual time. A daemon process's
+// sleep does not keep Run(0) alive.
+func (p *Proc) Sleep(d time.Duration) {
+	p.engine.schedule(d, p.Daemon, func() { p.engine.wake(p) })
+	p.suspend()
+}
+
+// Yield suspends the process until all events already scheduled for the
+// current instant have run.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,184 @@
+package sim
+
+import "time"
+
+// Signal is a one-shot broadcast event. Processes that Wait before Fire are
+// suspended; Fire wakes all of them (in wait order) and any later Wait
+// returns immediately. The zero Signal is not usable; use NewSignal.
+type Signal struct {
+	engine  *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{engine: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait suspends p until the signal fires. If it has already fired, Wait
+// returns immediately.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.suspend()
+}
+
+// Fire marks the signal fired and schedules all waiters to resume at the
+// current instant. Firing an already-fired signal is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		w := p
+		s.engine.ScheduleWake(w)
+	}
+	s.waiters = nil
+}
+
+// Future is a Signal that carries a value of type T.
+type Future[T any] struct {
+	sig *Signal
+	val T
+}
+
+// NewFuture returns an unresolved future bound to e.
+func NewFuture[T any](e *Engine) *Future[T] { return &Future[T]{sig: NewSignal(e)} }
+
+// Resolve sets the value and fires the underlying signal. Resolving twice is
+// a no-op (the first value wins).
+func (f *Future[T]) Resolve(v T) {
+	if f.sig.fired {
+		return
+	}
+	f.val = v
+	f.sig.Fire()
+}
+
+// Wait blocks p until the future resolves and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	f.sig.Wait(p)
+	return f.val
+}
+
+// Resolved reports whether the future has a value.
+func (f *Future[T]) Resolved() bool { return f.sig.fired }
+
+// Resource is a FIFO counting resource (e.g. a GPU compute slot). Acquire
+// blocks when capacity is exhausted; Release hands the slot to the oldest
+// waiter.
+type Resource struct {
+	engine  *Engine
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with the given capacity (must be >= 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{engine: e, cap: capacity}
+}
+
+// InUse returns the number of held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire obtains a slot, suspending p until one is available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.suspend()
+}
+
+// Release returns a slot. If processes are waiting, the slot transfers to
+// the oldest waiter.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.engine.ScheduleWake(next)
+		return
+	}
+	if r.inUse <= 0 {
+		panic("sim: Release without matching Acquire")
+	}
+	r.inUse--
+}
+
+// Queue is an unbounded FIFO channel between processes. Pop suspends the
+// caller while the queue is empty.
+type Queue[T any] struct {
+	engine *Engine
+	items  []T
+	// waiters are processes blocked in Pop, each with a slot to receive into.
+	waiters []*queueWaiter[T]
+}
+
+type queueWaiter[T any] struct {
+	p   *Proc
+	val T
+	ok  bool
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{engine: e} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v; if a process is blocked in Pop, it is scheduled to resume
+// with v at the current instant.
+func (q *Queue[T]) Push(v T) {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.val, w.ok = v, true
+		q.engine.ScheduleWake(w.p)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Pop removes and returns the oldest item, suspending p while the queue is
+// empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v
+	}
+	w := &queueWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.suspend()
+	if !w.ok {
+		panic("sim: queue waiter woken without a value")
+	}
+	return w.val
+}
+
+// WaitAll suspends p until every signal in sigs has fired.
+func WaitAll(p *Proc, sigs ...*Signal) {
+	for _, s := range sigs {
+		s.Wait(p)
+	}
+}
+
+// After returns a Signal that fires after d of virtual time.
+func After(e *Engine, d time.Duration) *Signal {
+	s := NewSignal(e)
+	e.Schedule(d, s.Fire)
+	return s
+}

@@ -1,0 +1,584 @@
+// Package store implements the paper's elastic GPU data storage (§4.4): a
+// per-node manager of per-GPU memory pools that
+//
+//   - scales pool reservations with a histogram pre-warming policy
+//     (R_window/R_size/R_con 99th-percentile trackers, §4.4.1),
+//   - keeps a 300 MB floor during idle periods and caps storage at a fixed
+//     fraction of free GPU memory,
+//   - evicts intermediate data to host memory under pressure using either
+//     LRU or the request-queue-aware policy of §4.4.2, and
+//   - proactively restores migrated data to GPU memory when space returns.
+//
+// The manager is policy and bookkeeping only; actual data movement is
+// delegated to a Migrator supplied by the data plane, so GROUTER migrates
+// over harvested parallel PCIe links while baselines use the single local
+// link.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/memsim"
+	"grouter/internal/metrics"
+	"grouter/internal/sim"
+)
+
+// Policy selects the eviction/migration strategy.
+type Policy int
+
+const (
+	// PolicyLRU evicts the least recently accessed item (what NVSHMEM+'s
+	// static store does).
+	PolicyLRU Policy = iota
+	// PolicyRQ evicts the item whose consumer sits deepest in the request
+	// queue (RQ in Fig. 18), without proactive restoration.
+	PolicyRQ
+	// PolicyRQProactive is PolicyRQ plus proactive restoration of migrated
+	// data when GPU memory frees up (full GROUTER).
+	PolicyRQProactive
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyRQ:
+		return "rq"
+	case PolicyRQProactive:
+		return "rq+proactive"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	Policy Policy
+	// Elastic enables dynamic pool scaling; when false the pool grows to
+	// StaticReserve per GPU up front and never shrinks (static pooling).
+	Elastic       bool
+	StaticReserve int64
+	// Symmetric mimics NVSHMEM symmetric allocation: every pool grow is
+	// mirrored on all GPUs of the node.
+	Symmetric bool
+	// MinPool is the idle-period floor (§4.4.1; default 300 MB).
+	MinPool int64
+	// FreeFraction caps storage at this fraction of a GPU's free memory
+	// (§4.4.2; default 0.5).
+	FreeFraction float64
+	// ReclaimInterval is the sweep period for expired reservations.
+	ReclaimInterval time.Duration
+	// HistWindow is the sample window of the percentile trackers.
+	HistWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinPool == 0 {
+		c.MinPool = 300 << 20
+	}
+	if c.FreeFraction == 0 {
+		c.FreeFraction = 0.5
+	}
+	if c.ReclaimInterval == 0 {
+		c.ReclaimInterval = time.Second
+	}
+	if c.HistWindow == 0 {
+		c.HistWindow = 64
+	}
+	return c
+}
+
+// Migrator moves item bytes between a GPU and host memory on behalf of the
+// manager. Implementations block the calling process for the transfer time.
+type Migrator interface {
+	ToHost(p *sim.Proc, gpu int, bytes int64)
+	ToGPU(p *sim.Proc, gpu int, bytes int64)
+}
+
+// Item is one stored intermediate-data object.
+type Item struct {
+	ID    dataplane.DataID
+	Fn    string
+	Bytes int64
+	// GPU is the item's home device on this node.
+	GPU int
+	// OnHost reports the item currently lives in host memory (evicted or
+	// spilled).
+	OnHost    bool
+	hostBlock *memsim.Block
+
+	LastAccess  time.Duration
+	ConsumerSeq int64
+	// migrating guards against concurrent eviction/restoration.
+	migrating bool
+	freed     bool
+}
+
+// Manager runs the elastic storage of one node.
+type Manager struct {
+	cfg   Config
+	node  *fabric.NodeFabric
+	eng   *sim.Engine
+	mig   Migrator
+	pools []*memsim.Pool
+	items map[dataplane.DataID]*Item
+	funcs map[string]*funcStats
+	// reservations hold pre-warmed pool bytes per function until expiry.
+	reservations []*reservation
+	nextID       dataplane.DataID
+
+	// Evictions and Restores count migrations; UsedTL and ReservedTL sample
+	// pool state for Fig. 7(a)/20(c).
+	Evictions  metrics.Counter
+	Restores   metrics.Counter
+	Spills     metrics.Counter
+	UsedTL     metrics.Timeline
+	ReservedTL metrics.Timeline
+}
+
+type reservation struct {
+	fn      string
+	gpu     int
+	bytes   int64
+	expires time.Duration
+}
+
+type funcStats struct {
+	lastArrival time.Duration
+	intervals   *quantile
+	sizes       *quantile
+	concurrency *quantile
+	live        int
+}
+
+// NewManager builds a manager over node's GPUs. When cfg.Elastic is false,
+// pools are grown to StaticReserve immediately (static pre-reservation).
+func NewManager(e *sim.Engine, node *fabric.NodeFabric, mig Migrator, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:   cfg,
+		node:  node,
+		eng:   e,
+		mig:   mig,
+		items: make(map[dataplane.DataID]*Item),
+		funcs: make(map[string]*funcStats),
+	}
+	for _, dev := range node.GPUs {
+		pool := memsim.NewPool(dev)
+		if cfg.Elastic {
+			pool.Quantum = 128 << 20 // block growth amortizes native allocs
+		}
+		m.pools = append(m.pools, pool)
+	}
+	if !cfg.Elastic && cfg.StaticReserve > 0 {
+		for _, p := range m.pools {
+			if err := p.Grow(min64(cfg.StaticReserve, p.Device().Free())); err != nil {
+				panic(fmt.Sprintf("store: static reserve: %v", err))
+			}
+		}
+	}
+	if cfg.Elastic {
+		// The minimum pool exists from the start (§4.4.1), so first-touch
+		// allocations are warm.
+		for _, p := range m.pools {
+			_ = p.Grow(min64(cfg.MinPool, p.Device().Free()/2))
+		}
+	}
+	if cfg.Elastic {
+		e.GoDaemon("store-reclaim", m.reclaimLoop)
+	}
+	if cfg.Policy == PolicyRQProactive {
+		e.GoDaemon("store-restore", m.restoreLoop)
+	}
+	return m
+}
+
+// Pool returns GPU g's pool (for tests and memory-overhead reporting).
+func (m *Manager) Pool(g int) *memsim.Pool { return m.pools[g] }
+
+// TotalReserved sums pool reservations across GPUs.
+func (m *Manager) TotalReserved() int64 {
+	var t int64
+	for _, p := range m.pools {
+		t += p.Reserved()
+	}
+	return t
+}
+
+// TotalUsed sums live data bytes across GPU pools.
+func (m *Manager) TotalUsed() int64 {
+	var t int64
+	for _, p := range m.pools {
+		t += p.Used()
+	}
+	return t
+}
+
+// limit returns the storage budget on GPU g: FreeFraction of the memory not
+// used by anything else (treating the pool's own reservation as available).
+// A static pool is additionally a fixed-size region: it never holds more
+// than its pre-reservation.
+func (m *Manager) limit(g int) int64 {
+	dev := m.node.GPUs[g]
+	avail := dev.Free() + m.pools[g].Reserved()
+	lim := int64(m.cfg.FreeFraction * float64(avail))
+	if !m.cfg.Elastic && m.cfg.StaticReserve > 0 && lim > m.cfg.StaticReserve {
+		lim = m.cfg.StaticReserve
+	}
+	return lim
+}
+
+// Put stores a new item of the given size on GPU g for function ctx.Fn,
+// evicting under pressure per policy. The returned item may be OnHost when
+// GPU capacity cannot be made (forced spill). Put blocks for allocation and
+// migration latency.
+func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*Item, error) {
+	m.nextID++
+	it := &Item{
+		ID:          m.nextID,
+		Fn:          ctx.Fn,
+		Bytes:       bytes,
+		GPU:         g,
+		LastAccess:  p.Now(),
+		ConsumerSeq: ctx.ConsumerSeq,
+	}
+	m.recordArrival(ctx.Fn, p.Now(), bytes)
+
+	if m.ensure(p, g, bytes) {
+		warm, err := m.pools[g].Alloc(bytes)
+		if err == nil {
+			if warm {
+				p.Sleep(memsim.PoolAllocLatency)
+			} else {
+				p.Sleep(memsim.RawAllocLatency)
+				m.mirrorSymmetric(g, bytes)
+			}
+			m.items[it.ID] = it
+			m.sample(p.Now())
+			return it, nil
+		}
+	}
+	// Forced spill to host.
+	blk, err := m.node.Host.Alloc(bytes)
+	if err != nil {
+		return nil, fmt.Errorf("store: spill of %d bytes: %w", bytes, err)
+	}
+	p.Sleep(memsim.PoolAllocLatency)
+	it.OnHost = true
+	it.hostBlock = blk
+	m.items[it.ID] = it
+	m.Spills.Inc()
+	m.sample(p.Now())
+	return it, nil
+}
+
+// mirrorSymmetric grows all other pools to match a symmetric allocation.
+func (m *Manager) mirrorSymmetric(g int, bytes int64) {
+	if !m.cfg.Symmetric {
+		return
+	}
+	for i, pool := range m.pools {
+		if i == g {
+			continue
+		}
+		_ = pool.Grow(min64(bytes, pool.Device().Free()))
+	}
+}
+
+// Lookup returns the item or nil.
+func (m *Manager) Lookup(id dataplane.DataID) *Item {
+	return m.items[id]
+}
+
+// Touch records an access for LRU bookkeeping.
+func (m *Manager) Touch(it *Item, now time.Duration) { it.LastAccess = now }
+
+// Free drops the item, releasing its memory. In elastic mode the freed pool
+// bytes stay reserved for the producing function for R_window (pre-warming).
+func (m *Manager) Free(it *Item) {
+	if it.freed {
+		return
+	}
+	it.freed = true
+	delete(m.items, it.ID)
+	if fs := m.funcs[it.Fn]; fs != nil {
+		fs.live--
+	}
+	if it.OnHost {
+		it.hostBlock.Free()
+		m.sample(m.eng.Now())
+		return
+	}
+	m.pools[it.GPU].Release(it.Bytes)
+	if m.cfg.Elastic {
+		m.reserve(it.Fn, it.GPU)
+	}
+	// Static pooling never shrinks (manual reclamation only).
+	m.sample(m.eng.Now())
+}
+
+// ensure makes room for bytes on GPU g, migrating items per policy. It
+// reports whether the pool can now hold the bytes within the storage limit.
+func (m *Manager) ensure(p *sim.Proc, g int, bytes int64) bool {
+	if bytes > m.limit(g) {
+		return false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		pool := m.pools[g]
+		if pool.Used()+bytes <= m.limit(g) && bytes <= pool.Idle()+pool.Device().Free() {
+			return true
+		}
+		victim := m.pickVictim(g)
+		if victim == nil {
+			return false
+		}
+		m.evict(p, victim)
+	}
+	return m.pools[g].Used()+bytes <= m.limit(g)
+}
+
+// pickVictim selects an evictable item on GPU g per policy, or nil.
+func (m *Manager) pickVictim(g int) *Item {
+	var best *Item
+	for _, it := range m.items {
+		if it.OnHost || it.migrating || it.GPU != g {
+			continue
+		}
+		if best == nil {
+			best = it
+			continue
+		}
+		switch m.cfg.Policy {
+		case PolicyLRU:
+			if it.LastAccess < best.LastAccess ||
+				(it.LastAccess == best.LastAccess && it.ID < best.ID) {
+				best = it
+			}
+		default: // queue-aware: evict the deepest-queued consumer first
+			if it.ConsumerSeq > best.ConsumerSeq ||
+				(it.ConsumerSeq == best.ConsumerSeq && it.ID < best.ID) {
+				best = it
+			}
+		}
+	}
+	return best
+}
+
+// evict migrates an item to host memory.
+func (m *Manager) evict(p *sim.Proc, it *Item) {
+	it.migrating = true
+	blk, err := m.node.Host.Alloc(it.Bytes)
+	if err != nil {
+		it.migrating = false
+		return
+	}
+	m.mig.ToHost(p, it.GPU, it.Bytes)
+	if it.freed {
+		// Consumed while migrating; the pool bytes were already released.
+		blk.Free()
+		return
+	}
+	m.pools[it.GPU].Release(it.Bytes)
+	it.OnHost = true
+	it.hostBlock = blk
+	it.migrating = false
+	m.Evictions.Inc()
+	m.sample(p.Now())
+}
+
+// Restore brings an evicted item back to its home GPU (used by Get when the
+// consumer needs host-resident data on-GPU, and by the proactive loop).
+// It reports whether the item is GPU-resident afterwards.
+func (m *Manager) Restore(p *sim.Proc, it *Item) bool {
+	if !it.OnHost || it.migrating || it.freed {
+		return !it.OnHost
+	}
+	it.migrating = true
+	pool := m.pools[it.GPU]
+	if pool.Used()+it.Bytes > m.limit(it.GPU) {
+		it.migrating = false
+		return false
+	}
+	warm, err := pool.Alloc(it.Bytes)
+	if err != nil {
+		it.migrating = false
+		return false
+	}
+	if !warm {
+		p.Sleep(memsim.RawAllocLatency)
+	}
+	m.mig.ToGPU(p, it.GPU, it.Bytes)
+	if it.freed {
+		pool.Release(it.Bytes)
+		return false
+	}
+	it.hostBlock.Free()
+	it.hostBlock = nil
+	it.OnHost = false
+	it.migrating = false
+	m.Restores.Inc()
+	m.sample(p.Now())
+	return true
+}
+
+// --- elastic scaling (§4.4.1) ---
+
+func (m *Manager) recordArrival(fn string, now time.Duration, bytes int64) {
+	fs := m.funcs[fn]
+	if fs == nil {
+		fs = &funcStats{
+			intervals:   newQuantile(m.cfg.HistWindow),
+			sizes:       newQuantile(m.cfg.HistWindow),
+			concurrency: newQuantile(m.cfg.HistWindow),
+		}
+		m.funcs[fn] = fs
+	}
+	if fs.lastArrival > 0 || fs.intervals.n > 0 {
+		fs.intervals.add((now - fs.lastArrival).Seconds())
+	}
+	fs.lastArrival = now
+	fs.sizes.add(float64(bytes))
+	fs.live++
+	fs.concurrency.add(float64(fs.live))
+}
+
+// reserve records a pre-warmed reservation R_size·R_con for R_window.
+func (m *Manager) reserve(fn string, gpu int) {
+	fs := m.funcs[fn]
+	if fs == nil {
+		return
+	}
+	window := time.Duration(fs.intervals.p(0.99) * float64(time.Second))
+	if window <= 0 {
+		window = m.cfg.ReclaimInterval
+	}
+	bytes := int64(fs.sizes.p(0.99) * fs.concurrency.p(0.99))
+	if bytes <= 0 {
+		return
+	}
+	m.reservations = append(m.reservations, &reservation{
+		fn: fn, gpu: gpu, bytes: bytes, expires: m.eng.Now() + window,
+	})
+}
+
+// target returns the elastic pool-size target for GPU g: live usage plus
+// unexpired reservations, floored at MinPool (when memory is plentiful).
+func (m *Manager) target(g int) int64 {
+	t := m.pools[g].Used()
+	for _, r := range m.reservations {
+		if r.gpu == g && r.expires > m.eng.Now() {
+			t += r.bytes
+		}
+	}
+	if t < m.cfg.MinPool && m.node.GPUs[g].Free() > m.cfg.MinPool {
+		t = m.cfg.MinPool
+	}
+	if lim := m.limit(g); t > lim {
+		t = lim
+	}
+	return t
+}
+
+// reclaimLoop periodically shrinks pools to their targets and drops expired
+// reservations.
+func (m *Manager) reclaimLoop(p *sim.Proc) {
+	for {
+		p.Sleep(m.cfg.ReclaimInterval)
+		now := p.Now()
+		live := m.reservations[:0]
+		for _, r := range m.reservations {
+			if r.expires > now {
+				live = append(live, r)
+			}
+		}
+		m.reservations = live
+		for g, pool := range m.pools {
+			if over := pool.Reserved() - m.target(g); over > 0 {
+				pool.Shrink(over)
+			}
+		}
+		m.sample(now)
+	}
+}
+
+// restoreLoop proactively restores evicted items in consumer-queue order
+// when GPU memory frees up (§4.4.2).
+func (m *Manager) restoreLoop(p *sim.Proc) {
+	for {
+		p.Sleep(m.cfg.ReclaimInterval / 2)
+		var cands []*Item
+		for _, it := range m.items {
+			if it.OnHost && !it.migrating {
+				cands = append(cands, it)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].ConsumerSeq != cands[j].ConsumerSeq {
+				return cands[i].ConsumerSeq < cands[j].ConsumerSeq
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		for _, it := range cands {
+			pool := m.pools[it.GPU]
+			if pool.Used()+it.Bytes > m.limit(it.GPU) {
+				continue
+			}
+			m.Restore(p, it)
+		}
+	}
+}
+
+func (m *Manager) sample(now time.Duration) {
+	if n := m.UsedTL.Len(); n > 0 && m.UsedTL.Times[n-1] == now {
+		m.UsedTL.Values[n-1] = float64(m.TotalUsed())
+		m.ReservedTL.Values[n-1] = float64(m.TotalReserved())
+		return
+	}
+	m.UsedTL.Add(now, float64(m.TotalUsed()))
+	m.ReservedTL.Add(now, float64(m.TotalReserved()))
+}
+
+// --- small helpers ---
+
+type quantile struct {
+	buf []float64
+	cap int
+	n   int
+}
+
+func newQuantile(capacity int) *quantile { return &quantile{cap: capacity} }
+
+func (q *quantile) add(v float64) {
+	if len(q.buf) < q.cap {
+		q.buf = append(q.buf, v)
+	} else {
+		q.buf[q.n%q.cap] = v
+	}
+	q.n++
+}
+
+func (q *quantile) p(f float64) float64 {
+	if len(q.buf) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), q.buf...)
+	sort.Float64s(s)
+	idx := int(f*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+const MB = int64(1) << 20
+
+// sleepMigrator models migration at 10 GB/s.
+type sleepMigrator struct{ toHost, toGPU int }
+
+func (s *sleepMigrator) ToHost(p *sim.Proc, gpu int, bytes int64) {
+	s.toHost++
+	p.Sleep(time.Duration(float64(bytes) / 10e9 * float64(time.Second)))
+}
+func (s *sleepMigrator) ToGPU(p *sim.Proc, gpu int, bytes int64) {
+	s.toGPU++
+	p.Sleep(time.Duration(float64(bytes) / 10e9 * float64(time.Second)))
+}
+
+func testManager(e *sim.Engine, cfg Config) (*Manager, *sleepMigrator) {
+	f := fabric.New(e, topology.DGXV100(), 1)
+	mig := &sleepMigrator{}
+	return NewManager(e, f.NodeF(0), mig, cfg), mig
+}
+
+func ctxFor(fn string, seq int64) *dataplane.FnCtx {
+	return &dataplane.FnCtx{Fn: fn, Workflow: "wf", ConsumerSeq: seq}
+}
+
+func TestPutLookupFree(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, Policy: PolicyRQ})
+	e.Go("p", func(p *sim.Proc) {
+		it, err := m.Put(p, ctxFor("f", 1), 0, 10*MB)
+		if err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		if m.Lookup(it.ID) != it {
+			t.Error("Lookup failed")
+		}
+		if it.OnHost {
+			t.Error("small item should be GPU-resident")
+		}
+		if m.TotalUsed() != 10*MB {
+			t.Errorf("used = %d, want %d", m.TotalUsed(), 10*MB)
+		}
+		m.Free(it)
+		if m.Lookup(it.ID) != nil {
+			t.Error("freed item still resolvable")
+		}
+		if m.TotalUsed() != 0 {
+			t.Errorf("used after free = %d", m.TotalUsed())
+		}
+	})
+	e.Run(0)
+}
+
+func TestDoubleFreeIsNoop(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true})
+	e.Go("p", func(p *sim.Proc) {
+		it, _ := m.Put(p, ctxFor("f", 1), 0, MB)
+		m.Free(it)
+		m.Free(it) // must not panic or corrupt accounting
+		if m.TotalUsed() != 0 {
+			t.Errorf("used = %d", m.TotalUsed())
+		}
+	})
+	e.Run(0)
+}
+
+func TestElasticReservationThenReclaim(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, MinPool: 1, ReclaimInterval: 100 * time.Millisecond})
+	e.Go("p", func(p *sim.Proc) {
+		// Repeated arrivals at 50ms intervals establish a short R_window.
+		for i := 0; i < 10; i++ {
+			it, err := m.Put(p, ctxFor("f", int64(i)), 0, 10*MB)
+			if err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			p.Sleep(50 * time.Millisecond)
+			m.Free(it)
+		}
+		// While hot, the pool keeps a reservation.
+		if m.Pool(0).Reserved() == 0 {
+			t.Error("expected warm reservation after frees")
+		}
+		// After the window plus reclaim sweeps, the pool shrinks to ~MinPool.
+		p.Sleep(3 * time.Second)
+		if got := m.Pool(0).Reserved(); got > 10*MB {
+			t.Errorf("idle pool reserved = %d, want reclaimed", got)
+		}
+	})
+	e.Run(0)
+}
+
+func TestStaticPoolDoesNotShrink(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: false, StaticReserve: 512 * MB})
+	e.Go("p", func(p *sim.Proc) {
+		if m.Pool(0).Reserved() != 512*MB {
+			t.Errorf("static reserve = %d", m.Pool(0).Reserved())
+		}
+		it, _ := m.Put(p, ctxFor("f", 1), 0, 10*MB)
+		m.Free(it)
+		p.Sleep(5 * time.Second)
+		if m.Pool(0).Reserved() != 512*MB {
+			t.Errorf("static pool changed to %d", m.Pool(0).Reserved())
+		}
+	})
+	e.Run(0)
+}
+
+func TestSymmetricGrowMirrorsAllGPUs(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, MinPool: 1, Symmetric: true})
+	e.Go("p", func(p *sim.Proc) {
+		_, err := m.Put(p, ctxFor("f", 1), 0, 64*MB)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		for g := 1; g < 8; g++ {
+			if m.Pool(g).Reserved() < 64*MB {
+				t.Errorf("GPU %d pool = %d, want mirrored >= %d", g, m.Pool(g).Reserved(), 64*MB)
+			}
+		}
+	})
+	e.Run(0)
+}
+
+// squeeze fills a GPU with non-storage allocations so the storage limit
+// becomes small.
+func squeeze(t *testing.T, m *Manager, g int, leave int64) {
+	t.Helper()
+	dev := m.node.GPUs[g]
+	if _, err := dev.Alloc(dev.Free() - leave); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionUnderPressureLRU(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, mig := testManager(e, Config{Elastic: true, MinPool: 1, Policy: PolicyLRU})
+	squeeze(t, m, 0, 100*MB) // storage limit = 50MB
+	e.Go("p", func(p *sim.Proc) {
+		a, _ := m.Put(p, ctxFor("a", 10), 0, 25*MB)
+		p.Sleep(time.Millisecond)
+		b, _ := m.Put(p, ctxFor("b", 5), 0, 15*MB)
+		p.Sleep(time.Millisecond)
+		// Touch a so b becomes LRU.
+		m.Touch(a, p.Now())
+		c, _ := m.Put(p, ctxFor("c", 20), 0, 20*MB)
+		if c.OnHost {
+			t.Error("c should fit after eviction")
+		}
+		if !b.OnHost {
+			t.Error("LRU should have evicted b (least recently accessed)")
+		}
+		if a.OnHost && b.OnHost {
+			t.Error("should not evict more than needed")
+		}
+	})
+	e.Run(0)
+	if mig.toHost == 0 {
+		t.Error("no migration happened")
+	}
+}
+
+func TestEvictionQueueAware(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, MinPool: 1, Policy: PolicyRQ})
+	squeeze(t, m, 0, 100*MB)
+	e.Go("p", func(p *sim.Proc) {
+		// a1's consumer is early in the queue (seq 1), a2's is late (seq 9).
+		a1, _ := m.Put(p, ctxFor("a", 1), 0, 20*MB)
+		p.Sleep(time.Millisecond)
+		a2, _ := m.Put(p, ctxFor("a", 9), 0, 20*MB)
+		p.Sleep(time.Millisecond)
+		// LRU would evict a1 (older access); queue-aware must evict a2.
+		_, _ = m.Put(p, ctxFor("b", 5), 0, 20*MB)
+		if a1.OnHost {
+			t.Error("queue-aware policy evicted imminently needed a1")
+		}
+		if !a2.OnHost {
+			t.Error("queue-aware policy should have evicted a2")
+		}
+	})
+	e.Run(0)
+}
+
+func TestProactiveRestore(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, mig := testManager(e, Config{
+		Elastic: true, MinPool: 1, Policy: PolicyRQProactive,
+		ReclaimInterval: 50 * time.Millisecond,
+	})
+	squeeze(t, m, 0, 100*MB)
+	var evicted *Item
+	e.Go("p", func(p *sim.Proc) {
+		a, _ := m.Put(p, ctxFor("a", 2), 0, 30*MB)
+		b, _ := m.Put(p, ctxFor("b", 8), 0, 15*MB)
+		// Force pressure: b gets evicted (deeper in queue).
+		c, _ := m.Put(p, ctxFor("c", 5), 0, 30*MB)
+		if !b.OnHost {
+			t.Error("b should be evicted")
+			return
+		}
+		evicted = b
+		// Free a and c: room returns; proactive loop should restore b.
+		m.Free(a)
+		m.Free(c)
+		p.Sleep(time.Second)
+	})
+	e.Run(2 * time.Second)
+	if evicted == nil {
+		return
+	}
+	if evicted.OnHost {
+		t.Error("proactive restoration did not bring b back to GPU")
+	}
+	if mig.toGPU == 0 {
+		t.Error("no restore transfer happened")
+	}
+}
+
+func TestSpillWhenItemExceedsLimit(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, MinPool: 1})
+	squeeze(t, m, 0, 40*MB) // limit = 20MB
+	e.Go("p", func(p *sim.Proc) {
+		it, err := m.Put(p, ctxFor("big", 1), 0, 30*MB)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if !it.OnHost {
+			t.Error("oversized item should spill to host")
+		}
+		m.Free(it)
+	})
+	e.Run(0)
+	if m.Spills.N == 0 {
+		t.Error("spill counter not incremented")
+	}
+}
+
+func TestRestoreExplicit(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, MinPool: 1, Policy: PolicyRQ})
+	squeeze(t, m, 0, 100*MB)
+	e.Go("p", func(p *sim.Proc) {
+		a, _ := m.Put(p, ctxFor("a", 1), 0, 30*MB)
+		b, _ := m.Put(p, ctxFor("b", 9), 0, 15*MB)
+		_, _ = m.Put(p, ctxFor("c", 5), 0, 30*MB) // evicts b
+		if !b.OnHost {
+			t.Fatal("precondition: b evicted")
+		}
+		m.Free(a) // make room
+		if !m.Restore(p, b) {
+			t.Error("explicit restore failed with free space")
+		}
+		if b.OnHost {
+			t.Error("b still on host after restore")
+		}
+	})
+	e.Run(0)
+}
+
+func TestUsageTimelineSampled(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m, _ := testManager(e, Config{Elastic: true, MinPool: 1})
+	e.Go("p", func(p *sim.Proc) {
+		it, _ := m.Put(p, ctxFor("f", 1), 0, 10*MB)
+		p.Sleep(time.Second)
+		m.Free(it)
+	})
+	e.Run(0)
+	if m.UsedTL.Len() < 2 {
+		t.Fatalf("timeline samples = %d, want >= 2", m.UsedTL.Len())
+	}
+	if m.UsedTL.Peak() != float64(10*MB) {
+		t.Errorf("peak usage = %f, want %d", m.UsedTL.Peak(), 10*MB)
+	}
+}

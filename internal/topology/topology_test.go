@@ -1,0 +1,263 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinSpecsValidate(t *testing.T) {
+	for _, name := range []string{"dgx-v100", "dgx-a100", "h800x8", "quad-a10"} {
+		s := SpecByName(name)
+		if s == nil {
+			t.Fatalf("SpecByName(%q) = nil", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if SpecByName("nope") != nil {
+		t.Error("unknown spec should be nil")
+	}
+}
+
+func TestDGXV100PairClassesMatchPaper(t *testing.T) {
+	// Paper Fig. 6(a): 28% of pairs have half bandwidth, 42% have no direct
+	// NVLink (of 28 unordered pairs: 8 single-brick, 12 none, 8 double).
+	classes := DGXV100().PairClasses()
+	if classes[PairSingle] != 8 {
+		t.Errorf("single-brick pairs = %d, want 8", classes[PairSingle])
+	}
+	if classes[PairNoNVLink] != 12 {
+		t.Errorf("no-NVLink pairs = %d, want 12", classes[PairNoNVLink])
+	}
+	if classes[PairDouble] != 8 {
+		t.Errorf("double-brick pairs = %d, want 8", classes[PairDouble])
+	}
+}
+
+func TestDGXV100LinkBudget(t *testing.T) {
+	// Each V100 has exactly 6 NVLink bricks of 24 GB/s.
+	s := DGXV100()
+	for g := 0; g < s.NumGPUs; g++ {
+		total := 0.0
+		for j := 0; j < s.NumGPUs; j++ {
+			total += s.NVAdj[g][j]
+		}
+		if want := GBps(6 * 24); total != want {
+			t.Errorf("GPU %d NVLink budget = %.0f, want %.0f", g, total, want)
+		}
+	}
+}
+
+func TestSwitchPeers(t *testing.T) {
+	s := DGXV100()
+	peers := s.SwitchPeers(0)
+	if len(peers) != 1 || peers[0] != 1 {
+		t.Errorf("SwitchPeers(0) = %v, want [1]", peers)
+	}
+	a10 := QuadA10()
+	if got := a10.SwitchPeers(2); len(got) != 0 {
+		t.Errorf("QuadA10 SwitchPeers(2) = %v, want empty", got)
+	}
+}
+
+func TestNVNeighbors(t *testing.T) {
+	s := DGXV100()
+	got := s.NVNeighbors(0)
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("NVNeighbors(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NVNeighbors(0) = %v, want %v", got, want)
+		}
+	}
+	// Switched fabric: everyone is a neighbor.
+	a100 := DGXA100()
+	if got := a100.NVNeighbors(3); len(got) != 7 {
+		t.Errorf("A100 NVNeighbors(3) has %d entries, want 7", len(got))
+	}
+}
+
+func TestClusterLinksUniqueAndPositive(t *testing.T) {
+	for _, spec := range []*Spec{DGXV100(), DGXA100(), QuadA10(), H800x8()} {
+		c := NewCluster(spec, 2)
+		seen := map[LinkID]bool{}
+		for _, l := range c.Links() {
+			if seen[l.ID] {
+				t.Errorf("%s: duplicate link %s", spec.Name, l.ID)
+			}
+			seen[l.ID] = true
+			if l.Bps <= 0 {
+				t.Errorf("%s: link %s has bandwidth %f", spec.Name, l.ID, l.Bps)
+			}
+		}
+	}
+}
+
+func TestGPUToHostPathSharesSwitchUplink(t *testing.T) {
+	c := NewCluster(DGXV100(), 1)
+	n := c.Node(0)
+	p0 := n.GPUToHostLinks(0)
+	p1 := n.GPUToHostLinks(1)
+	if p0[1] != p1[1] {
+		t.Errorf("GPUs 0 and 1 should share a switch uplink: %v vs %v", p0, p1)
+	}
+	p2 := n.GPUToHostLinks(2)
+	if p0[1] == p2[1] {
+		t.Errorf("GPUs 0 and 2 should not share a switch uplink")
+	}
+}
+
+func TestPCIeP2PPaths(t *testing.T) {
+	c := NewCluster(QuadA10(), 1)
+	n := c.Node(0)
+	// Different switches: 4 links (two x16 + two uplinks).
+	if p := n.PCIeP2PLinks(0, 2); len(p) != 4 {
+		t.Errorf("cross-switch P2P path = %v, want 4 links", p)
+	}
+	v := NewCluster(DGXV100(), 1).Node(0)
+	// Same switch: 2 links, stays below the switch.
+	if p := v.PCIeP2PLinks(0, 1); len(p) != 2 {
+		t.Errorf("same-switch P2P path = %v, want 2 links", p)
+	}
+}
+
+func TestNVLinkPathEnumeration(t *testing.T) {
+	n := NewCluster(DGXV100(), 1).Node(0)
+	// Direct only.
+	direct := n.NVLinkPaths(0, 3, 1)
+	if len(direct) != 1 || len(direct[0]) != 2 {
+		t.Fatalf("direct paths 0→3 = %v", direct)
+	}
+	// Two hops: several alternatives appear, all simple, sorted by length.
+	two := n.NVLinkPaths(0, 3, 2)
+	if len(two) <= 1 {
+		t.Fatalf("expected multiple ≤2-hop paths 0→3, got %v", two)
+	}
+	if len(two[0]) != 2 {
+		t.Errorf("paths not sorted by length: %v", two)
+	}
+	for _, p := range two {
+		seen := map[int]bool{}
+		for _, g := range p {
+			if seen[g] {
+				t.Errorf("path %v revisits GPU %d", p, g)
+			}
+			seen[g] = true
+		}
+		if p[0] != 0 || p[len(p)-1] != 3 {
+			t.Errorf("path %v has wrong endpoints", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if n.Spec.NVAdj[p[i]][p[i+1]] == 0 {
+				t.Errorf("path %v uses missing edge %d-%d", p, p[i], p[i+1])
+			}
+		}
+	}
+	// Unconnected pair at 1 hop (0 and 5 have no direct link).
+	if p := n.NVLinkPaths(0, 5, 1); len(p) != 0 {
+		t.Errorf("paths 0→5 at 1 hop = %v, want none", p)
+	}
+	if p := n.NVLinkPaths(0, 5, 2); len(p) == 0 {
+		t.Error("paths 0→5 at 2 hops should exist")
+	}
+}
+
+func TestNVLinkPathsSwitched(t *testing.T) {
+	n := NewCluster(DGXA100(), 1).Node(0)
+	p := n.NVLinkPaths(2, 5, 3)
+	if len(p) != 1 || len(p[0]) != 2 {
+		t.Fatalf("switched fabric paths = %v, want single direct", p)
+	}
+	links := n.NVLinkPathLinks(p[0])
+	if len(links) != 2 {
+		t.Fatalf("switched path links = %v, want 2 ports", links)
+	}
+}
+
+func TestPathBandwidth(t *testing.T) {
+	n := NewCluster(DGXV100(), 1).Node(0)
+	if b := n.PathBandwidth([]int{0, 3}); b != GBps(48) {
+		t.Errorf("0→3 bandwidth = %.0f, want 48 GB/s", b)
+	}
+	// 0→1→3: bottleneck is min(24, 24).
+	if b := n.PathBandwidth([]int{0, 1, 3}); b != GBps(24) {
+		t.Errorf("0→1→3 bandwidth = %.0f, want 24 GB/s", b)
+	}
+	if b := n.PathBandwidth([]int{0, 5}); b != 0 {
+		t.Errorf("0→5 bandwidth = %.0f, want 0", b)
+	}
+}
+
+func TestGPUToNICPaths(t *testing.T) {
+	v := NewCluster(DGXV100(), 1).Node(0)
+	// Local NIC: 2 links (x16 + nic tx).
+	if p := v.GPUToNICLinks(0, 0); len(p) != 2 {
+		t.Errorf("local NIC path = %v, want 2 links", p)
+	}
+	// Remote NIC: crosses the root complex.
+	if p := v.GPUToNICLinks(0, 3); len(p) != 4 {
+		t.Errorf("remote NIC path = %v, want 4 links", p)
+	}
+	if p := v.NICToGPULinks(0, 1); len(p) != 2 {
+		t.Errorf("local NIC rx path = %v, want 2 links", p)
+	}
+}
+
+func TestNVLinkPathsPropertySimpleAndConnected(t *testing.T) {
+	n := NewCluster(DGXV100(), 1).Node(0)
+	f := func(a, b uint8, hops uint8) bool {
+		src := int(a) % 8
+		dst := int(b) % 8
+		if src == dst {
+			return len(n.NVLinkPaths(src, dst, 3)) == 0
+		}
+		h := 1 + int(hops)%3
+		for _, p := range n.NVLinkPaths(src, dst, h) {
+			if len(p)-1 > h || p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			seen := map[int]bool{}
+			for i, g := range p {
+				if seen[g] {
+					return false
+				}
+				seen[g] = true
+				if i > 0 && n.Spec.NVAdj[p[i-1]][g] == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasNVLink(t *testing.T) {
+	if !DGXV100().HasNVLink() {
+		t.Error("DGX-V100 should have NVLink")
+	}
+	if !DGXA100().HasNVLink() {
+		t.Error("DGX-A100 should have NVLink")
+	}
+	if QuadA10().HasNVLink() {
+		t.Error("QuadA10 should not have NVLink")
+	}
+}
+
+func TestNVLinkPathsCached(t *testing.T) {
+	n := NewCluster(DGXV100(), 1).Node(0)
+	first := n.NVLinkPaths(0, 5, 3)
+	second := n.NVLinkPaths(0, 5, 3)
+	if len(first) != len(second) {
+		t.Fatal("cached result differs")
+	}
+	// Cached slices are shared — identity check proves the memo hit.
+	if len(first) > 0 && &first[0][0] != &second[0][0] {
+		t.Error("second call did not hit the cache")
+	}
+}

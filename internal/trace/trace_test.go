@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeterministicPerSeed(t *testing.T) {
+	s := Spec{Pattern: Bursty, Duration: time.Minute, MeanRPS: 10, Seed: 7}
+	a := Generate(s)
+	b := Generate(s)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	s.Seed = 8
+	c := Generate(s)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestArrivalsSortedAndInRange(t *testing.T) {
+	for _, p := range []Pattern{Sporadic, Periodic, Bursty} {
+		s := Spec{Pattern: p, Duration: 30 * time.Second, MeanRPS: 20, Seed: 1}
+		arr := Generate(s)
+		if len(arr) == 0 {
+			t.Fatalf("%v: empty trace", p)
+		}
+		for i, a := range arr {
+			if a < 0 || a >= s.Duration {
+				t.Fatalf("%v: arrival %v out of range", p, a)
+			}
+			if i > 0 && a < arr[i-1] {
+				t.Fatalf("%v: arrivals not sorted at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestMeanRateApproximatelyHonored(t *testing.T) {
+	for _, p := range []Pattern{Sporadic, Periodic, Bursty} {
+		s := Spec{Pattern: p, Duration: 10 * time.Minute, MeanRPS: 50, Seed: 3}
+		st := Summarize(Generate(s), s.Duration)
+		if st.Mean < 30 || st.Mean > 75 {
+			t.Errorf("%v: mean rate %.1f, want ≈50", p, st.Mean)
+		}
+	}
+}
+
+func TestBurstyIsBurstier(t *testing.T) {
+	dur := 10 * time.Minute
+	spor := Summarize(Generate(Spec{Pattern: Sporadic, Duration: dur, MeanRPS: 20, Seed: 5}), dur)
+	burst := Summarize(Generate(Spec{Pattern: Bursty, Duration: dur, MeanRPS: 20, Seed: 5}), dur)
+	if !(burst.CV > spor.CV) {
+		t.Errorf("bursty CV %.2f should exceed sporadic CV %.2f", burst.CV, spor.CV)
+	}
+	if !(burst.PeakRPS > spor.PeakRPS) {
+		t.Errorf("bursty peak %.0f should exceed sporadic peak %.0f", burst.PeakRPS, spor.PeakRPS)
+	}
+}
+
+func TestEmptySpecs(t *testing.T) {
+	if got := Generate(Spec{Pattern: Sporadic, Duration: 0, MeanRPS: 10}); got != nil {
+		t.Errorf("zero duration trace = %v", got)
+	}
+	if got := Generate(Spec{Pattern: Sporadic, Duration: time.Second, MeanRPS: 0}); got != nil {
+		t.Errorf("zero rate trace = %v", got)
+	}
+	st := Summarize(nil, time.Minute)
+	if st.Count != 0 || st.Mean != 0 {
+		t.Errorf("empty summarize = %+v", st)
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	for _, name := range []string{"sporadic", "periodic", "bursty"} {
+		p, err := ParsePattern(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != name {
+			t.Errorf("round trip %q → %q", name, p.String())
+		}
+	}
+	if _, err := ParsePattern("wavy"); err == nil {
+		t.Error("unknown pattern should error")
+	}
+}

@@ -1,0 +1,53 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the workflow as a Graphviz digraph: GPU functions as boxes,
+// CPU functions as ellipses, edges labeled with the per-request data volume
+// at the default batch.
+func (w *Workflow) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", w.Name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, s := range w.Stages {
+		shape := "box"
+		fill := "#a5d6a7" // green: gFn
+		if !s.IsGPU() {
+			shape = "ellipse"
+			fill = "#fff59d" // yellow: cFn
+		}
+		label := s.Name
+		if s.ReplicaCount() > 1 {
+			label = fmt.Sprintf("%s ×%d", s.Name, s.ReplicaCount())
+		}
+		if p := s.ProbOrOne(); p < 1 {
+			label = fmt.Sprintf("%s (p=%.1f)", label, p)
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s style=filled fillcolor=%q label=%q];\n",
+			s.Name, shape, fill, label)
+	}
+	for _, s := range w.Stages {
+		for _, dn := range s.Deps {
+			d := w.Stage(dn)
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n",
+				dn, s.Name, humanBytes(EdgeBytes(d, w.Batch)))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/float64(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,114 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"grouter/internal/models"
+)
+
+// fileSpec is the on-disk JSON schema for user-defined workflows.
+type fileSpec struct {
+	Name     string      `json:"name"`
+	Batch    int         `json:"batch"`
+	SLOScale float64     `json:"slo_scale"`
+	Stages   []stageSpec `json:"stages"`
+}
+
+type stageSpec struct {
+	Name string `json:"name"`
+	// Model names a builtin profile (see models.Names), or Custom defines
+	// one inline.
+	Model    string      `json:"model"`
+	Custom   *customSpec `json:"custom"`
+	Deps     []string    `json:"deps"`
+	Prob     float64     `json:"prob"`
+	Replicas int         `json:"replicas"`
+}
+
+type customSpec struct {
+	// Latencies in microseconds on the V100 baseline.
+	BaseUS    int64 `json:"base_us"`
+	PerItemUS int64 `json:"per_item_us"`
+	// Tensor sizes in bytes per batch item.
+	InBytes  int64 `json:"in_bytes"`
+	OutBytes int64 `json:"out_bytes"`
+	CPUOnly  bool  `json:"cpu_only"`
+	// WeightsBytes sizes the model loaded on a cold start.
+	WeightsBytes int64 `json:"weights_bytes"`
+}
+
+// Parse reads a workflow definition from JSON. Stages may reference builtin
+// model profiles by name or define custom ones inline; the result is
+// validated before being returned.
+func Parse(r io.Reader) (*Workflow, error) {
+	var spec fileSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("workflow: parse: %w", err)
+	}
+	if spec.Name == "" {
+		return nil, fmt.Errorf("workflow: missing name")
+	}
+	w := &Workflow{Name: spec.Name, Batch: spec.Batch, SLOScale: spec.SLOScale}
+	if w.Batch <= 0 {
+		w.Batch = 1
+	}
+	if w.SLOScale == 0 {
+		w.SLOScale = 1.5
+	}
+	for _, ss := range spec.Stages {
+		var prof *models.Profile
+		switch {
+		case ss.Custom != nil && ss.Model != "":
+			return nil, fmt.Errorf("workflow: stage %q sets both model and custom", ss.Name)
+		case ss.Custom != nil:
+			c := ss.Custom
+			if c.PerItemUS <= 0 || c.InBytes <= 0 || c.OutBytes <= 0 {
+				return nil, fmt.Errorf("workflow: stage %q custom profile needs positive per_item_us/in_bytes/out_bytes", ss.Name)
+			}
+			prof = &models.Profile{
+				Name:            ss.Name,
+				Base:            microseconds(c.BaseUS),
+				PerItem:         microseconds(c.PerItemUS),
+				InBytesPerItem:  c.InBytes,
+				OutBytesPerItem: c.OutBytes,
+				CPUOnly:         c.CPUOnly,
+				WeightsBytes:    c.WeightsBytes,
+			}
+		default:
+			p, err := models.Lookup(ss.Model)
+			if err != nil {
+				return nil, fmt.Errorf("workflow: stage %q: %w", ss.Name, err)
+			}
+			prof = p
+		}
+		w.Stages = append(w.Stages, &Stage{
+			Name:     ss.Name,
+			Model:    prof,
+			Deps:     ss.Deps,
+			Prob:     ss.Prob,
+			Replicas: ss.Replicas,
+		})
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// LoadFile parses a workflow definition from a JSON file.
+func LoadFile(path string) (*Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func microseconds(us int64) time.Duration { return time.Duration(us) * time.Microsecond }

@@ -1,0 +1,89 @@
+package workflow
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "custom-pipeline",
+  "batch": 4,
+  "slo_scale": 2.0,
+  "stages": [
+    {"name": "load", "custom": {"base_us": 1000, "per_item_us": 500,
+      "in_bytes": 1048576, "out_bytes": 4194304, "cpu_only": true}},
+    {"name": "detect", "model": "yolo-det", "deps": ["load"]},
+    {"name": "classify", "model": "resnet50", "deps": ["detect"], "prob": 0.5, "replicas": 2}
+  ]
+}`
+
+func TestParseWorkflowJSON(t *testing.T) {
+	w, err := Parse(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom-pipeline" || w.Batch != 4 || w.SLOScale != 2.0 {
+		t.Errorf("header = %q/%d/%v", w.Name, w.Batch, w.SLOScale)
+	}
+	if len(w.Stages) != 3 {
+		t.Fatalf("stages = %d", len(w.Stages))
+	}
+	load := w.Stage("load")
+	if !load.Model.CPUOnly || load.Model.OutBytesPerItem != 4<<20 {
+		t.Errorf("custom profile wrong: %+v", load.Model)
+	}
+	if w.Stage("detect").Model.Name != "yolo-det" {
+		t.Error("builtin model reference not resolved")
+	}
+	cls := w.Stage("classify")
+	if cls.ProbOrOne() != 0.5 || cls.ReplicaCount() != 2 {
+		t.Errorf("classify prob/replicas = %v/%d", cls.ProbOrOne(), cls.ReplicaCount())
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	w, err := Parse(strings.NewReader(`{"name":"d","stages":[{"name":"a","model":"denoise"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Batch != 1 || w.SLOScale != 1.5 {
+		t.Errorf("defaults = %d/%v, want 1/1.5", w.Batch, w.SLOScale)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"missing name":     `{"stages":[{"name":"a","model":"denoise"}]}`,
+		"unknown model":    `{"name":"x","stages":[{"name":"a","model":"nope"}]}`,
+		"both model forms": `{"name":"x","stages":[{"name":"a","model":"denoise","custom":{"per_item_us":1,"in_bytes":1,"out_bytes":1}}]}`,
+		"bad custom":       `{"name":"x","stages":[{"name":"a","custom":{"per_item_us":0,"in_bytes":1,"out_bytes":1}}]}`,
+		"bad dep":          `{"name":"x","stages":[{"name":"a","model":"denoise","deps":["ghost"]}]}`,
+		"unknown field":    `{"name":"x","wat":1,"stages":[{"name":"a","model":"denoise"}]}`,
+		"not json":         `{{{`,
+	}
+	for label, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wf.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom-pipeline" {
+		t.Errorf("loaded name = %q", w.Name)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

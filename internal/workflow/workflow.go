@@ -1,0 +1,248 @@
+// Package workflow defines serverless inference workflows as DAGs of stages
+// and provides the paper's application suite (Fig. 12): Traffic
+// (conditional), Driving (sequence), Video (fan-in), and Image (fan-out).
+// The Mixture-of-Agents LLM workflow lives in internal/kvcache because of
+// its specialized KV-cache passing.
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"grouter/internal/models"
+)
+
+// Stage is one function in a workflow DAG.
+type Stage struct {
+	Name  string
+	Model *models.Profile
+	// Deps are upstream stage names whose outputs this stage consumes.
+	Deps []string
+	// Prob is the probability the stage executes for a given request
+	// (conditional branching); 0 means 1.0.
+	Prob float64
+	// Replicas fans the stage into k parallel instances per request
+	// (fan-out); 0 means 1. A stage with the same replica count as its
+	// dependency pairs with it one-to-one; otherwise replicas broadcast or
+	// fan in.
+	Replicas int
+}
+
+// ReplicaCount returns the effective replica count.
+func (s *Stage) ReplicaCount() int {
+	if s.Replicas <= 0 {
+		return 1
+	}
+	return s.Replicas
+}
+
+// ProbOrOne returns the effective execution probability.
+func (s *Stage) ProbOrOne() float64 {
+	if s.Prob <= 0 || s.Prob > 1 {
+		return 1
+	}
+	return s.Prob
+}
+
+// IsGPU reports whether the stage runs on a GPU.
+func (s *Stage) IsGPU() bool { return !s.Model.CPUOnly }
+
+// Workflow is a DAG of stages in topological order.
+type Workflow struct {
+	Name   string
+	Stages []*Stage
+	// Batch is the default request batch size.
+	Batch int
+	// SLOScale sets per-stage SLOs at scale × standalone compute latency
+	// (§4.3.2: 1.5–2×).
+	SLOScale float64
+}
+
+// Validate checks that dependencies exist, precede their consumers, and that
+// stage names are unique.
+func (w *Workflow) Validate() error {
+	seen := map[string]bool{}
+	for _, s := range w.Stages {
+		if seen[s.Name] {
+			return fmt.Errorf("workflow %s: duplicate stage %q", w.Name, s.Name)
+		}
+		for _, d := range s.Deps {
+			if !seen[d] {
+				return fmt.Errorf("workflow %s: stage %q depends on %q which does not precede it", w.Name, s.Name, d)
+			}
+		}
+		seen[s.Name] = true
+	}
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("workflow %s: empty", w.Name)
+	}
+	return nil
+}
+
+// Stage returns the named stage or nil.
+func (w *Workflow) Stage(name string) *Stage {
+	for _, s := range w.Stages {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Consumers returns the stages that consume s's output.
+func (w *Workflow) Consumers(s *Stage) []*Stage {
+	var out []*Stage
+	for _, c := range w.Stages {
+		for _, d := range c.Deps {
+			if d == s.Name {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Sinks returns stages nobody consumes.
+func (w *Workflow) Sinks() []*Stage {
+	var out []*Stage
+	for _, s := range w.Stages {
+		if len(w.Consumers(s)) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StandaloneLatency estimates the workflow's critical-path compute time on
+// one device class at the given batch (transfer-free; the basis for SLOs).
+func (w *Workflow) StandaloneLatency(c models.Class, batch int) time.Duration {
+	finish := map[string]time.Duration{}
+	var max time.Duration
+	for _, s := range w.Stages {
+		var start time.Duration
+		for _, d := range s.Deps {
+			if finish[d] > start {
+				start = finish[d]
+			}
+		}
+		end := start + s.Model.Latency(c, batch)
+		finish[s.Name] = end
+		if end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// sloTransferBps is the reference bandwidth used to budget a stage's input
+// transfer inside its SLO. The paper derives SLOs from measured standalone
+// execution, which includes moving inputs at uncontended link speed.
+const sloTransferBps = 10e9
+
+// StageInputBytes sums the bytes one instance of s pulls per request:
+// ingress payload for GPU sources plus every dependency edge.
+func (w *Workflow) StageInputBytes(s *Stage, batch int) int64 {
+	var total int64
+	if len(s.Deps) == 0 && s.IsGPU() {
+		total += s.Model.InBytes(batch)
+	}
+	for _, dn := range s.Deps {
+		d := w.Stage(dn)
+		n := 1
+		if !(d.ReplicaCount() == s.ReplicaCount() && s.ReplicaCount() > 1) {
+			n = d.ReplicaCount()
+		}
+		total += EdgeBytes(d, batch) * int64(n)
+	}
+	return total
+}
+
+// StageSLO returns the stage's latency objective: scale × its standalone
+// execution time (compute plus input transfer at uncontended bandwidth).
+func (w *Workflow) StageSLO(s *Stage, c models.Class, batch int) time.Duration {
+	scale := w.SLOScale
+	if scale == 0 {
+		scale = 1.5
+	}
+	standalone := s.Model.Latency(c, batch) +
+		time.Duration(float64(w.StageInputBytes(s, batch))/sloTransferBps*float64(time.Second))
+	return time.Duration(scale * float64(standalone))
+}
+
+// EdgeBytes returns the data volume one instance of consumer pulls from one
+// instance of producer at the given batch.
+func EdgeBytes(producer *Stage, batch int) int64 {
+	return producer.Model.OutBytes(batch)
+}
+
+func mk(name string, batch int, stages ...*Stage) *Workflow {
+	w := &Workflow{Name: name, Stages: stages, Batch: batch, SLOScale: 1.5}
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Traffic is the Fig. 1 traffic-monitoring workflow (Boggart-style): video
+// decode → preprocess → detection → postprocess, then conditional person and
+// car recognition.
+func Traffic() *Workflow {
+	return mk("traffic", 8,
+		&Stage{Name: "video-decode", Model: models.MustLookup("video-decode")},
+		&Stage{Name: "preprocess", Model: models.MustLookup("preprocess"), Deps: []string{"video-decode"}},
+		&Stage{Name: "yolo-det", Model: models.MustLookup("yolo-det"), Deps: []string{"preprocess"}},
+		&Stage{Name: "postprocess", Model: models.MustLookup("postprocess"), Deps: []string{"yolo-det"}},
+		&Stage{Name: "person-recog", Model: models.MustLookup("person-recog"), Deps: []string{"postprocess"}, Prob: 0.7},
+		&Stage{Name: "car-recog", Model: models.MustLookup("car-recog"), Deps: []string{"postprocess"}, Prob: 0.8},
+	)
+}
+
+// Driving is the AdaInf-style road-segmentation sequence: denoise →
+// segmentation → colorize.
+func Driving() *Workflow {
+	return mk("driving", 8,
+		&Stage{Name: "denoise", Model: models.MustLookup("denoise")},
+		&Stage{Name: "segmentation", Model: models.MustLookup("segmentation"), Deps: []string{"denoise"}},
+		&Stage{Name: "colorize", Model: models.MustLookup("colorize"), Deps: []string{"segmentation"}},
+	)
+}
+
+// Video is the Aquatope-style fan-in pipeline: four parallel chunk loaders
+// and face detectors feeding one recognizer.
+func Video() *Workflow {
+	return mk("video", 4,
+		&Stage{Name: "chunk-load", Model: models.MustLookup("chunk-load"), Replicas: 4},
+		&Stage{Name: "face-det", Model: models.MustLookup("face-det"), Deps: []string{"chunk-load"}, Replicas: 4},
+		&Stage{Name: "face-recog", Model: models.MustLookup("face-recog"), Deps: []string{"face-det"}},
+	)
+}
+
+// Image is the Cocktail-style classification ensemble: denoise fans out to
+// four classifiers whose votes aggregate.
+func Image() *Workflow {
+	return mk("image", 8,
+		&Stage{Name: "denoise", Model: models.MustLookup("denoise")},
+		&Stage{Name: "resnet50", Model: models.MustLookup("resnet50"), Deps: []string{"denoise"}},
+		&Stage{Name: "resnet101", Model: models.MustLookup("resnet101"), Deps: []string{"denoise"}},
+		&Stage{Name: "efficientnet", Model: models.MustLookup("efficientnet"), Deps: []string{"denoise"}},
+		&Stage{Name: "inception", Model: models.MustLookup("inception"), Deps: []string{"denoise"}},
+		&Stage{Name: "aggregate", Model: models.MustLookup("aggregate"),
+			Deps: []string{"resnet50", "resnet101", "efficientnet", "inception"}},
+	)
+}
+
+// Suite returns the four CNN workflows evaluated in Figs. 13–18.
+func Suite() []*Workflow {
+	return []*Workflow{Traffic(), Driving(), Video(), Image()}
+}
+
+// ByName returns the named workflow or nil.
+func ByName(name string) *Workflow {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"grouter/internal/models"
+)
+
+func TestSuiteValidates(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 4 {
+		t.Fatalf("suite size = %d, want 4", len(suite))
+	}
+	for _, w := range suite {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("traffic") == nil || ByName("video") == nil {
+		t.Error("known workflows not found")
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown workflow should be nil")
+	}
+}
+
+func TestValidateRejectsBadDeps(t *testing.T) {
+	w := &Workflow{Name: "bad", Stages: []*Stage{
+		{Name: "a", Model: models.MustLookup("denoise"), Deps: []string{"missing"}},
+	}}
+	if err := w.Validate(); err == nil {
+		t.Error("missing dep should fail validation")
+	}
+	w2 := &Workflow{Name: "dup", Stages: []*Stage{
+		{Name: "a", Model: models.MustLookup("denoise")},
+		{Name: "a", Model: models.MustLookup("denoise")},
+	}}
+	if err := w2.Validate(); err == nil {
+		t.Error("duplicate stage should fail validation")
+	}
+	if err := (&Workflow{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty workflow should fail validation")
+	}
+}
+
+func TestConsumersAndSinks(t *testing.T) {
+	w := Traffic()
+	post := w.Stage("postprocess")
+	cons := w.Consumers(post)
+	if len(cons) != 2 {
+		t.Errorf("postprocess consumers = %d, want 2", len(cons))
+	}
+	sinks := w.Sinks()
+	if len(sinks) != 2 {
+		t.Errorf("traffic sinks = %d, want 2 (the recognizers)", len(sinks))
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	// Traffic has conditional stages.
+	cond := false
+	for _, s := range Traffic().Stages {
+		if s.ProbOrOne() < 1 {
+			cond = true
+		}
+	}
+	if !cond {
+		t.Error("traffic should have conditional stages")
+	}
+	// Video has replicas (fan-in).
+	if Video().Stage("face-det").ReplicaCount() != 4 {
+		t.Error("video face-det should have 4 replicas")
+	}
+	// Image fans out from denoise to 4 classifiers.
+	if n := len(Image().Consumers(Image().Stage("denoise"))); n != 4 {
+		t.Errorf("image fan-out = %d, want 4", n)
+	}
+	// Driving is a pure sequence.
+	for i, s := range Driving().Stages {
+		if i > 0 && len(s.Deps) != 1 {
+			t.Error("driving should be a chain")
+		}
+	}
+}
+
+func TestStandaloneLatencyCriticalPath(t *testing.T) {
+	w := Driving()
+	var sum time.Duration
+	for _, s := range w.Stages {
+		sum += s.Model.Latency(models.ClassV100, w.Batch)
+	}
+	if got := w.StandaloneLatency(models.ClassV100, w.Batch); got != sum {
+		t.Errorf("chain critical path = %v, want sum %v", got, sum)
+	}
+	// Fan-out: critical path is shorter than the stage-latency sum.
+	img := Image()
+	var imgSum time.Duration
+	for _, s := range img.Stages {
+		imgSum += s.Model.Latency(models.ClassV100, img.Batch)
+	}
+	if got := img.StandaloneLatency(models.ClassV100, img.Batch); got >= imgSum {
+		t.Errorf("fan-out critical path %v should be < stage sum %v", got, imgSum)
+	}
+}
+
+func TestStageSLOScale(t *testing.T) {
+	w := Driving()
+	s := w.Stage("segmentation")
+	slo := w.StageSLO(s, models.ClassV100, w.Batch)
+	lat := s.Model.Latency(models.ClassV100, w.Batch)
+	xfer := time.Duration(float64(w.StageInputBytes(s, w.Batch)) / sloTransferBps * float64(time.Second))
+	if want := time.Duration(1.5 * float64(lat+xfer)); slo != want {
+		t.Errorf("SLO = %v, want %v (1.5 × (compute + transfer))", slo, want)
+	}
+	if slo <= time.Duration(1.5*float64(lat)) {
+		t.Error("SLO should budget input transfer beyond compute")
+	}
+}
+
+func TestStageInputBytes(t *testing.T) {
+	w := Driving()
+	den := w.Stage("denoise") // GPU source: ingress payload
+	if got := w.StageInputBytes(den, 8); got != den.Model.InBytes(8) {
+		t.Errorf("source input bytes = %d", got)
+	}
+	seg := w.Stage("segmentation")
+	if got := w.StageInputBytes(seg, 8); got != den.Model.OutBytes(8) {
+		t.Errorf("chain input bytes = %d", got)
+	}
+	// Fan-in: face-recog pulls from all 4 face-det replicas.
+	v := Video()
+	fr := v.Stage("face-recog")
+	fd := v.Stage("face-det")
+	if got := v.StageInputBytes(fr, 4); got != 4*fd.Model.OutBytes(4) {
+		t.Errorf("fan-in input bytes = %d, want %d", got, 4*fd.Model.OutBytes(4))
+	}
+}
+
+func TestEdgeBytes(t *testing.T) {
+	w := Traffic()
+	pre := w.Stage("preprocess")
+	if got := EdgeBytes(pre, 8); got != pre.Model.OutBytes(8) {
+		t.Errorf("EdgeBytes = %d", got)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	for _, w := range Suite() {
+		dot := w.DOT()
+		for _, s := range w.Stages {
+			if !strings.Contains(dot, "\""+s.Name+"\"") {
+				t.Errorf("%s: DOT missing stage %s", w.Name, s.Name)
+			}
+		}
+		if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") && len(w.Stages) > 1 {
+			t.Errorf("%s: malformed DOT:\n%s", w.Name, dot)
+		}
+	}
+	// Replicas and probabilities are annotated.
+	v := Video().DOT()
+	if !strings.Contains(v, "×4") {
+		t.Error("video DOT missing replica annotation")
+	}
+	tr := Traffic().DOT()
+	if !strings.Contains(tr, "p=0.7") {
+		t.Error("traffic DOT missing probability annotation")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.0 KiB",
+		3 << 20: "3.0 MiB",
+		5 << 30: "5.0 GiB",
+	}
+	for n, want := range cases {
+		if got := humanBytes(n); got != want {
+			t.Errorf("humanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

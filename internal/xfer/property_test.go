@@ -1,0 +1,66 @@
+package xfer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSplitBytesProperties checks SplitBytes invariants for arbitrary
+// inputs: conservation (shares sum to the total), non-negativity, and
+// chunk alignment on all but the remainder path.
+func TestSplitBytesProperties(t *testing.T) {
+	f := func(totalRaw uint32, capsRaw []uint16, chunkRaw uint8) bool {
+		if len(capsRaw) == 0 {
+			return true
+		}
+		if len(capsRaw) > 8 {
+			capsRaw = capsRaw[:8]
+		}
+		bytes := int64(totalRaw)
+		chunk := int64(chunkRaw)%256 + 1
+		paths := make([]Path, len(capsRaw))
+		for i, c := range capsRaw {
+			paths[i] = Path{Bps: float64(c) + 1}
+		}
+		shares := SplitBytes(bytes, paths, chunk)
+		if len(shares) != len(paths) {
+			return false
+		}
+		var sum int64
+		best := 0
+		for i, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+			if paths[i].Bps > paths[best].Bps {
+				best = i
+			}
+		}
+		if sum != bytes {
+			return false
+		}
+		// Every non-remainder path is chunk-aligned.
+		for i, s := range shares {
+			if i != best && s%chunk != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitBytesMonotoneInCapacity checks that a strictly faster path never
+// receives fewer bytes than a slower one (for multi-chunk transfers).
+func TestSplitBytesMonotoneInCapacity(t *testing.T) {
+	paths := []Path{{Bps: 100}, {Bps: 200}, {Bps: 400}}
+	shares := SplitBytes(1<<30, paths, DefaultChunkBytes)
+	for i := 1; i < len(shares); i++ {
+		if shares[i] < shares[i-1] {
+			t.Errorf("faster path got fewer bytes: %v", shares)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package xfer executes data transfers over the simulated fabric: it splits
+// data into chunks, groups chunks into batches, distributes the bytes over
+// one or more link paths proportionally to path capacity, and drives the
+// resulting flows through the network simulator.
+//
+// The chunk/batch pipeline of §4.3.1–4.3.2 is modeled at flow level: the
+// per-chunk cudaMemcpyAsync launches and per-batch scheduling points are
+// charged as fixed latency constants (they pipeline with the transfer, so
+// only the first batch's setup is on the critical path), while preemption at
+// batch boundaries is subsumed by the simulator recomputing rates at every
+// flow arrival and departure — a strictly finer-grained version of the same
+// mechanism.
+package xfer
+
+import (
+	"time"
+
+	"grouter/internal/fabric"
+	"grouter/internal/memsim"
+	"grouter/internal/netsim"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// Transfer tuning constants (paper defaults).
+const (
+	// DefaultChunkBytes is the transfer chunk size (§4.3.1: 2 MB).
+	DefaultChunkBytes = int64(2) << 20
+	// DefaultBatchChunks is the number of chunks per batch (§4.3.2: 5).
+	DefaultBatchChunks = 5
+
+	// SetupLatency is the one-time cost of initiating a transfer (IPC handle
+	// mapping, stream selection).
+	SetupLatency = 30 * time.Microsecond
+	// BatchLatency is the scheduling cost of the first batch; later batches
+	// pipeline behind data movement.
+	BatchLatency = 20 * time.Microsecond
+	// HostStackLatency is the extra per-transfer cost of a host-mediated
+	// network transfer (kernel TCP stack vs GPUDirect RDMA).
+	HostStackLatency = 200 * time.Microsecond
+)
+
+// Path is one candidate route for a transfer.
+type Path struct {
+	Links []topology.LinkID
+	// Bps is the path's bottleneck capacity, used for proportional byte
+	// splitting across parallel paths.
+	Bps float64
+}
+
+// PathOf builds a Path, deriving Bps from the network's link capacities.
+func PathOf(net *netsim.Network, links []topology.LinkID) Path {
+	min := 0.0
+	for i, id := range links {
+		c := net.Capacity(id)
+		if i == 0 || c < min {
+			min = c
+		}
+	}
+	return Path{Links: links, Bps: min}
+}
+
+// Request describes one transfer.
+type Request struct {
+	Label string
+	Bytes int64
+	Paths []Path
+	// Opt carries rate-control constraints applied to every flow of the
+	// transfer (min rates are split across paths proportionally).
+	Opt netsim.Options
+	// HostStack adds HostStackLatency (host-mediated network transfer).
+	HostStack bool
+	// Pinned, when non-nil, stages the transfer through a node's shared
+	// circular pinned buffer: the transfer holds min(Bytes, buffer) bytes of
+	// the gate for its duration.
+	Pinned *memsim.ByteGate
+}
+
+// Manager executes transfers on a fabric.
+type Manager struct {
+	Fabric      *fabric.Fabric
+	ChunkBytes  int64
+	BatchChunks int
+}
+
+// NewManager returns a manager with paper-default chunking.
+func NewManager(f *fabric.Fabric) *Manager {
+	return &Manager{Fabric: f, ChunkBytes: DefaultChunkBytes, BatchChunks: DefaultBatchChunks}
+}
+
+// Transfer runs the request to completion from process p and returns the
+// elapsed virtual time. Zero-byte transfers still pay setup latency.
+func (m *Manager) Transfer(p *sim.Proc, req Request) time.Duration {
+	start := p.Now()
+	setup := SetupLatency + BatchLatency
+	if req.HostStack {
+		setup += HostStackLatency
+	}
+	p.Sleep(setup)
+
+	var held int64
+	if req.Pinned != nil {
+		held = req.Pinned.Acquire(p, req.Bytes)
+	}
+
+	flows := m.startFlows(req)
+	for _, f := range flows {
+		f.Done().Wait(p)
+	}
+
+	if req.Pinned != nil && held > 0 {
+		req.Pinned.Release(held)
+	}
+	return p.Now() - start
+}
+
+// TransferAsync starts the request from event context and returns a signal
+// fired on completion. It does not model pinned-buffer backpressure (async
+// callers manage their own staging).
+func (m *Manager) TransferAsync(req Request) *sim.Signal {
+	done := sim.NewSignal(m.Fabric.Engine)
+	setup := SetupLatency + BatchLatency
+	if req.HostStack {
+		setup += HostStackLatency
+	}
+	m.Fabric.Engine.Schedule(setup, func() {
+		flows := m.startFlows(req)
+		if len(flows) == 0 {
+			done.Fire()
+			return
+		}
+		remaining := len(flows)
+		for _, f := range flows {
+			f := f
+			m.Fabric.Engine.Schedule(0, func() {
+				waitFlow(m.Fabric.Engine, f, func() {
+					remaining--
+					if remaining == 0 {
+						done.Fire()
+					}
+				})
+			})
+		}
+	})
+	return done
+}
+
+// waitFlow invokes fn when f completes, using a watcher process only when
+// the flow is not already done.
+func waitFlow(e *sim.Engine, f *netsim.Flow, fn func()) {
+	if f.Done().Fired() {
+		fn()
+		return
+	}
+	e.Go("flow-watch", func(p *sim.Proc) {
+		f.Done().Wait(p)
+		fn()
+	})
+}
+
+// startFlows splits the request's bytes over its paths and launches flows.
+func (m *Manager) startFlows(req Request) []*netsim.Flow {
+	if len(req.Paths) == 0 {
+		panic("xfer: transfer with no paths: " + req.Label)
+	}
+	split := SplitBytes(req.Bytes, req.Paths, m.ChunkBytes)
+	var flows []*netsim.Flow
+	for i, b := range split {
+		if b <= 0 {
+			continue
+		}
+		opt := req.Opt
+		if opt.MinRate > 0 {
+			opt.MinRate = opt.MinRate * float64(b) / float64(req.Bytes)
+		}
+		flows = append(flows, m.Fabric.Net.Start(req.Label, req.Paths[i].Links, float64(b), opt))
+	}
+	if flows == nil {
+		// Entire payload rounded into path 0.
+		flows = append(flows, m.Fabric.Net.Start(req.Label, req.Paths[0].Links, float64(req.Bytes), req.Opt))
+	}
+	return flows
+}
+
+// SplitBytes distributes bytes over paths proportionally to capacity,
+// quantized to whole chunks (§4.3.3: chunk sizes scale with path capacity).
+// Transfers of at most one chunk use only the fastest path.
+func SplitBytes(bytes int64, paths []Path, chunk int64) []int64 {
+	out := make([]int64, len(paths))
+	if bytes <= 0 {
+		return out
+	}
+	if len(paths) == 1 || bytes <= chunk {
+		best := 0
+		for i := 1; i < len(paths); i++ {
+			if paths[i].Bps > paths[best].Bps {
+				best = i
+			}
+		}
+		out[best] = bytes
+		return out
+	}
+	total := 0.0
+	for _, p := range paths {
+		total += p.Bps
+	}
+	if total <= 0 {
+		out[0] = bytes
+		return out
+	}
+	assigned := int64(0)
+	for i, p := range paths {
+		share := int64(float64(bytes) * p.Bps / total)
+		share -= share % chunk
+		out[i] = share
+		assigned += share
+	}
+	// Remainder (sub-chunk residue) goes to the fastest path.
+	best := 0
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Bps > paths[best].Bps {
+			best = i
+		}
+	}
+	out[best] += bytes - assigned
+	return out
+}
