@@ -117,6 +117,115 @@ func BenchmarkNetsimFlowChurn(b *testing.B) {
 	}
 }
 
+// netsimScaleSpecs builds the flow mix for the netsim scale benchmarks: a
+// 4-node DGX-A100 cluster with NVSwitch pair traffic, PCIe host staging, and
+// cross-node NIC transfers on every GPU, replicated until well over a
+// thousand flows are in flight.
+type netsimFlowSpec struct {
+	path  []topology.LinkID
+	bytes float64
+	delay time.Duration
+}
+
+func netsimScaleSpecs(cl *topology.Cluster, replicas int) []netsimFlowSpec {
+	var specs []netsimFlowSpec
+	nodes := len(cl.Nodes)
+	for rep := 0; rep < replicas; rep++ {
+		for nd := 0; nd < nodes; nd++ {
+			node := cl.Node(nd)
+			dst := cl.Node((nd + 1) % nodes)
+			for g := 0; g < node.Spec.NumGPUs; g++ {
+				base := time.Duration(rep*nodes*8+nd*8+g) * 23 * time.Microsecond
+				for r := 1; r <= 4; r++ {
+					peer := (g + r) % node.Spec.NumGPUs
+					specs = append(specs, netsimFlowSpec{
+						path:  node.NVLinkPathLinks([]int{g, peer}),
+						bytes: float64(int64(32+(g*7+r*3+rep)%32) << 20),
+						delay: base + time.Duration(r)*17*time.Microsecond,
+					})
+				}
+				specs = append(specs, netsimFlowSpec{
+					path:  node.GPUToHostLinks(g),
+					bytes: float64(int64(24+(g+rep)%16) << 20),
+					delay: base + 97*time.Microsecond,
+				})
+				specs = append(specs, netsimFlowSpec{
+					path:  node.HostToGPULinks(g),
+					bytes: float64(int64(24+(g+rep)%16) << 20),
+					delay: base + 131*time.Microsecond,
+				})
+				k := node.Spec.GPUNIC[g]
+				xpath := append(append([]topology.LinkID{}, node.GPUToNICLinks(g, k)...), dst.NICToGPULinks(k, g)...)
+				specs = append(specs, netsimFlowSpec{
+					path:  xpath,
+					bytes: float64(int64(16+(g*5+rep)%16) << 20),
+					delay: base + 173*time.Microsecond,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// BenchmarkNetsimScale1k runs ~1,500 concurrent flows over a 4-node DGX-A100
+// cluster topology: every flow arrival and completion triggers a rate
+// recomputation, so this measures the allocator's scaling behaviour.
+func BenchmarkNetsimScale1k(b *testing.B) {
+	b.ReportAllocs()
+	cl := topology.NewCluster(topology.DGXA100(), 4)
+	links := cl.Links()
+	specs := netsimScaleSpecs(cl, 7) // 4 nodes x 8 GPUs x 7 flows x 7 replicas = 1568
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		net := netsim.New(e, links)
+		for _, s := range specs {
+			s := s
+			e.Schedule(s.delay, func() {
+				net.Start("scale", s.path, s.bytes, netsim.Options{})
+			})
+		}
+		e.Run(0)
+		e.Close()
+		if net.ActiveFlows() != 0 {
+			b.Fatalf("flows left: %d", net.ActiveFlows())
+		}
+	}
+}
+
+// BenchmarkNetsimScaleComponents measures multi-component contention: long
+// background flows occupy the NVSwitch fabrics of nodes 1-3 while node 0
+// sees heavy arrival churn. A component-scoped allocator only recomputes the
+// busy island; a global one pays for every idle flow on every event.
+func BenchmarkNetsimScaleComponents(b *testing.B) {
+	b.ReportAllocs()
+	cl := topology.NewCluster(topology.DGXA100(), 4)
+	links := cl.Links()
+	node0 := cl.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		net := netsim.New(e, links)
+		// Long-lived background flows on nodes 1-3 (disjoint NVSwitch islands).
+		for nd := 1; nd < 4; nd++ {
+			node := cl.Node(nd)
+			for g := 0; g < 8; g++ {
+				net.Start("bg", node.NVLinkPathLinks([]int{g, (g + 1) % 8}), 64<<30, netsim.Options{})
+			}
+		}
+		// Churn: 600 short flows arriving on node 0 over time.
+		for j := 0; j < 600; j++ {
+			j := j
+			e.Schedule(time.Duration(j)*50*time.Microsecond, func() {
+				g := j % 8
+				net.Start("churn", node0.NVLinkPathLinks([]int{g, (g + 1 + j%7) % 8}), float64(int64(4+j%8)<<20), netsim.Options{})
+			})
+		}
+		e.Run(40 * time.Millisecond)
+		e.Close()
+	}
+}
+
 // BenchmarkDataPassing measures one simulated Put/Get exchange per iteration
 // through the full GROUTER stack.
 func BenchmarkDataPassing(b *testing.B) {

@@ -17,12 +17,14 @@ import (
 	"time"
 
 	"grouter/internal/experiments"
+	"grouter/internal/netsim"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "all", "experiment ID to run, or 'all'")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	allocStats := flag.Bool("allocstats", false, "print netsim allocator work counters after the runs")
 	flag.Parse()
 
 	if *list {
@@ -63,5 +65,9 @@ func main() {
 		tbl := e.Run()
 		fmt.Println(tbl.Format())
 		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *allocStats {
+			fmt.Printf("  allocator: %s\n\n", netsim.Stats())
+			netsim.Stats().Reset()
+		}
 	}
 }

@@ -12,14 +12,22 @@
 // Rates are recomputed whenever the flow set or any flow's constraints
 // change; flow progress is advanced lazily between recomputations, so the
 // model is exact for piecewise-constant rate schedules.
+//
+// The allocator is incremental and component-scoped: a flow event only
+// recomputes rates inside the connected component of links and flows
+// reachable from the changed flow. Flows sharing no links with the component
+// keep their rates and completion schedules, which is exact for max-min
+// fairness because disjoint components impose no constraints on each other
+// (see alloc.go for the allocator and the retained reference oracle, and
+// index.go for the dense link index backing it).
 package netsim
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
+	"grouter/internal/metrics"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
 )
@@ -28,26 +36,66 @@ import (
 // (absorbs floating-point drift).
 const finishEpsilon = 0.5
 
+// farFuture marks a flow with no projected completion (zero rate).
+const farFuture = time.Duration(math.MaxInt64)
+
+// global aggregates allocator counters across every Network in the process,
+// so harnesses like cmd/grouter-bench can report allocator work without
+// reaching into each experiment's private simulator.
+var global metrics.AllocatorStats
+
+// Stats returns the process-wide allocator counters.
+func Stats() *metrics.AllocatorStats { return &global }
+
 // Network simulates a set of capacity-annotated links shared by flows.
 type Network struct {
 	engine *sim.Engine
-	links  map[topology.LinkID]*link
-	flows  map[*Flow]struct{}
-	seq    int64
+	stats  metrics.AllocatorStats
 
-	recomputePending bool
-	completionGen    int64
-}
+	// Dense link table; see index.go.
+	linkIndex map[topology.LinkID]int
+	links     []linkState
 
-type link struct {
-	id       topology.LinkID
-	capacity float64
+	// order holds the active flows sorted by (priority desc, seq asc) — the
+	// allocation order — and is maintained incrementally so recomputes never
+	// re-sort the population.
+	order []*Flow
+	seq   int64
+
+	// Single outstanding allocator event: the debounce for mutation bursts
+	// and the next projected completion share one engine timer. eventGen
+	// lazily invalidates superseded timers still in the engine heap.
+	eventScheduled bool
+	eventAt        time.Duration
+	eventGen       int64
+
+	// Seeds for the next recompute: flows that arrived or changed options,
+	// and links whose flow set shrank (cancellations).
+	dirtyFlows []*Flow
+	dirtyLinks []int
+
+	// completions is a min-heap of active flows by projected finish time.
+	completions []*Flow
+
+	// epoch stamps component membership per recompute; stamp marks per-link
+	// counts per water-fill iteration. Both only ever increase, so scratch
+	// state needs no clearing between recomputes.
+	epoch int64
+	stamp int64
+
+	// Reusable scratch for recomputes (steady-state allocation-free).
+	compFlows  []*Flow // BFS queue and collected component members
+	compLinks  []int
+	compSorted []*Flow
+	finished   []*Flow
+	wfLinks    []int
 }
 
 // Flow is one in-flight transfer over a fixed link path.
 type Flow struct {
 	label    string
-	path     []topology.LinkID
+	pathIdx  []int32 // dense link indices of the path
+	linkPos  []int32 // position of this flow in each link's flow list
 	seq      int64
 	minRate  float64
 	maxRate  float64 // 0 = unlimited
@@ -58,7 +106,15 @@ type Flow struct {
 	lastUpdate time.Duration
 	done       *sim.Signal
 	canceled   bool
+	active     bool
 	net        *Network
+
+	// Allocator bookkeeping.
+	visited  int64 // == net.epoch when inside the current component
+	frozen   bool  // water-fill scratch
+	dirty    bool  // queued in net.dirtyFlows
+	finishAt time.Duration
+	heapIdx  int // position in net.completions, -1 when absent
 }
 
 // Options constrain a flow's rate allocation.
@@ -76,9 +132,8 @@ type Options struct {
 // New builds a network over the given links.
 func New(e *sim.Engine, links []topology.Link) *Network {
 	n := &Network{
-		engine: e,
-		links:  make(map[topology.LinkID]*link, len(links)),
-		flows:  make(map[*Flow]struct{}),
+		engine:    e,
+		linkIndex: make(map[topology.LinkID]int, len(links)),
 	}
 	for _, l := range links {
 		n.AddLink(l)
@@ -86,35 +141,57 @@ func New(e *sim.Engine, links []topology.Link) *Network {
 	return n
 }
 
-// AddLink registers a link. Re-adding an existing ID replaces its capacity.
+// AddLink registers a link, assigning it a dense index. Re-adding an
+// existing ID replaces its capacity.
 func (n *Network) AddLink(l topology.Link) {
 	if l.Bps <= 0 {
 		panic(fmt.Sprintf("netsim: link %s has non-positive capacity", l.ID))
 	}
-	n.links[l.ID] = &link{id: l.ID, capacity: l.Bps}
+	if i, ok := n.linkIndex[l.ID]; ok {
+		n.links[i].capacity = l.Bps
+		return
+	}
+	n.linkIndex[l.ID] = len(n.links)
+	n.links = append(n.links, linkState{id: l.ID, capacity: l.Bps})
 }
 
 // HasLink reports whether id is registered.
 func (n *Network) HasLink(id topology.LinkID) bool {
-	_, ok := n.links[id]
+	_, ok := n.linkIndex[id]
 	return ok
 }
 
 // Capacity returns a link's capacity in bytes/s.
 func (n *Network) Capacity(id topology.LinkID) float64 {
-	l, ok := n.links[id]
+	i, ok := n.linkIndex[id]
 	if !ok {
 		return 0
 	}
-	return l.capacity
+	return n.links[i].capacity
 }
+
+// PathBps returns the bottleneck capacity over a link path, or 0 if the path
+// is empty or crosses an unknown link.
+func (n *Network) PathBps(links []topology.LinkID) float64 {
+	min := 0.0
+	for i, id := range links {
+		c := n.Capacity(id)
+		if i == 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// NetStats returns this network's allocator counters.
+func (n *Network) NetStats() *metrics.AllocatorStats { return &n.stats }
 
 // Start launches a flow of the given byte size over path. A zero-byte flow
 // completes at the current instant. Start panics on an unknown link, which
 // indicates a path-construction bug.
 func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt Options) *Flow {
 	for _, id := range path {
-		if _, ok := n.links[id]; !ok {
+		if _, ok := n.linkIndex[id]; !ok {
 			panic(fmt.Sprintf("netsim: flow %q uses unknown link %s", label, id))
 		}
 	}
@@ -124,7 +201,6 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 	n.seq++
 	f := &Flow{
 		label:      label,
-		path:       append([]topology.LinkID(nil), path...),
 		seq:        n.seq,
 		minRate:    opt.MinRate,
 		maxRate:    opt.MaxRate,
@@ -133,14 +209,22 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 		lastUpdate: n.engine.Now(),
 		done:       sim.NewSignal(n.engine),
 		net:        n,
+		finishAt:   farFuture,
+		heapIdx:    -1,
 	}
 	if bytes <= finishEpsilon || len(path) == 0 {
 		f.remaining = 0
 		n.engine.Schedule(0, f.done.Fire)
 		return f
 	}
-	n.flows[f] = struct{}{}
-	n.scheduleRecompute()
+	f.pathIdx = make([]int32, len(path))
+	f.linkPos = make([]int32, len(path))
+	for i, id := range path {
+		f.pathIdx[i] = int32(n.linkIndex[id])
+	}
+	n.insertFlow(f)
+	n.markDirty(f)
+	n.requestEvent(n.engine.Now())
 	return f
 }
 
@@ -167,87 +251,146 @@ func (f *Flow) Remaining() float64 {
 }
 
 // SetOptions updates the flow's constraints and triggers a rate
-// recomputation.
+// recomputation of the flow's component.
 func (f *Flow) SetOptions(opt Options) {
 	if f.done.Fired() || f.canceled {
 		return
 	}
+	if f.active && opt.Priority != f.priority {
+		// Priority determines the flow's slot in the allocation order.
+		f.net.removeFromOrder(f)
+		f.priority = opt.Priority
+		f.net.insertIntoOrder(f)
+	} else {
+		f.priority = opt.Priority
+	}
 	f.minRate = opt.MinRate
 	f.maxRate = opt.MaxRate
-	f.priority = opt.Priority
-	f.net.scheduleRecompute()
+	if f.active {
+		f.net.markDirty(f)
+		f.net.requestEvent(f.net.engine.Now())
+	}
 }
 
 // Cancel aborts the flow without firing its done signal.
 func (n *Network) Cancel(f *Flow) {
-	if _, ok := n.flows[f]; !ok {
+	if !f.active {
 		return
 	}
-	n.advanceAll()
 	f.canceled = true
-	delete(n.flows, f)
-	n.scheduleRecompute()
+	// The canceled flow's own progress no longer matters; its peers keep
+	// their rates until the recompute this schedules (same instant), so
+	// their lazily-advanced progress is unaffected.
+	n.removeFlow(f)
+	f.rate = 0
+	for _, li := range f.pathIdx {
+		n.dirtyLinks = append(n.dirtyLinks, int(li))
+	}
+	n.requestEvent(n.engine.Now())
 }
 
 // ActiveFlows returns the number of in-flight flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return len(n.order) }
 
-// AllocatedOn returns the total rate currently allocated on a link.
+// AllocatedOn returns the total rate currently allocated on a link, from
+// maintained per-link totals (O(1)).
 func (n *Network) AllocatedOn(id topology.LinkID) float64 {
-	total := 0.0
-	for f := range n.flows {
-		for _, lid := range f.path {
-			if lid == id {
-				total += f.rate
-				break
-			}
-		}
+	i, ok := n.linkIndex[id]
+	if !ok {
+		return 0
 	}
-	return total
+	return n.links[i].alloc
 }
 
 // Utilization snapshots every link's allocated fraction (0..1). Useful for
 // debugging contention in experiments.
 func (n *Network) Utilization() map[topology.LinkID]float64 {
 	out := make(map[topology.LinkID]float64, len(n.links))
-	for id, l := range n.links {
-		out[id] = 0
+	for i := range n.links {
+		l := &n.links[i]
+		out[l.id] = 0
 		if l.capacity > 0 {
-			out[id] = n.AllocatedOn(id) / l.capacity
+			out[l.id] = l.alloc / l.capacity
 		}
 	}
 	return out
 }
 
-// FreeOn returns a link's unallocated capacity.
+// FreeOn returns a link's unallocated capacity (O(1)).
 func (n *Network) FreeOn(id topology.LinkID) float64 {
-	l, ok := n.links[id]
+	i, ok := n.linkIndex[id]
 	if !ok {
 		return 0
 	}
-	free := l.capacity - n.AllocatedOn(id)
+	free := n.links[i].capacity - n.links[i].alloc
 	if free < 0 {
 		return 0
 	}
 	return free
 }
 
-// scheduleRecompute debounces rate recomputation to once per instant.
-func (n *Network) scheduleRecompute() {
-	if n.recomputePending {
+// markDirty queues f as a seed for the next recompute.
+func (n *Network) markDirty(f *Flow) {
+	if f.dirty {
 		return
 	}
-	n.recomputePending = true
-	n.engine.Schedule(0, func() {
-		n.recomputePending = false
+	f.dirty = true
+	n.dirtyFlows = append(n.dirtyFlows, f)
+}
+
+// requestEvent ensures the allocator's single engine timer fires no later
+// than at. Mutation bursts and completion timers coalesce here: a burst of N
+// Start calls at one instant schedules one event, and a completion timer
+// already due at or before the requested time is reused as-is. Superseded
+// timers are invalidated by generation and fire as no-ops.
+func (n *Network) requestEvent(at time.Duration) {
+	if n.eventScheduled && n.eventAt <= at {
+		return
+	}
+	n.eventGen++
+	gen := n.eventGen
+	n.eventScheduled = true
+	n.eventAt = at
+	n.stats.EventsScheduled.Add(1)
+	global.EventsScheduled.Add(1)
+	n.engine.Schedule(at-n.engine.Now(), func() {
+		if gen != n.eventGen {
+			return
+		}
+		n.eventScheduled = false
 		n.recompute()
 	})
 }
 
-// advanceAll credits every flow's progress up to the current instant.
-func (n *Network) advanceAll() {
+// recompute is the allocator event body: it gathers the recompute seeds (due
+// completions, dirty flows, links with departed flows), expands them to
+// connected components, advances and retires those components' flows,
+// reallocates their rates, and re-arms the completion timer.
+func (n *Network) recompute() {
 	now := n.engine.Now()
-	for f := range n.flows {
+
+	// Flows whose projected completion has arrived seed a recompute of
+	// their components; they are retired after advancing confirms it.
+	for len(n.completions) > 0 && n.completions[0].finishAt <= now {
+		n.markDirty(n.heapPop())
+	}
+
+	if len(n.dirtyFlows) > 0 || len(n.dirtyLinks) > 0 {
+		n.recomputeComponents(now)
+	}
+
+	if len(n.completions) > 0 && n.completions[0].finishAt != farFuture {
+		n.requestEvent(n.completions[0].finishAt)
+	}
+}
+
+// recomputeComponents performs one component-scoped recompute pass.
+func (n *Network) recomputeComponents(now time.Duration) {
+	components := n.collectComponents()
+
+	// Advance component flows to the current instant and find the finished.
+	n.finished = n.finished[:0]
+	for _, f := range n.compFlows {
 		elapsed := (now - f.lastUpdate).Seconds()
 		if elapsed > 0 {
 			f.remaining -= f.rate * elapsed
@@ -256,201 +399,74 @@ func (n *Network) advanceAll() {
 			}
 		}
 		f.lastUpdate = now
-	}
-}
-
-// recompute advances progress, retires finished flows, reassigns rates, and
-// schedules the next completion event.
-func (n *Network) recompute() {
-	n.advanceAll()
-
-	var finished []*Flow
-	for f := range n.flows {
 		if f.remaining <= finishEpsilon {
-			finished = append(finished, f)
+			n.finished = append(n.finished, f)
 		}
 	}
-	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
-	for _, f := range finished {
+	// Retire in seq order for deterministic completion signalling.
+	sortFlowsBySeq(n.finished)
+	for _, f := range n.finished {
 		f.remaining = 0
+		n.removeFlow(f)
 		f.rate = 0
-		delete(n.flows, f)
 		f.done.Fire()
 	}
 
-	n.allocate()
-
-	// Schedule the earliest completion. A generation counter invalidates
-	// stale events from previous schedules.
-	n.completionGen++
-	gen := n.completionGen
-	earliest := math.Inf(1)
-	for f := range n.flows {
-		if f.rate > 0 {
-			if t := f.remaining / f.rate; t < earliest {
-				earliest = t
-			}
+	// Collect the surviving component members in allocation order by
+	// filtering the maintained order slice — no sorting.
+	ep := n.epoch
+	n.compSorted = n.compSorted[:0]
+	for _, f := range n.order {
+		if f.visited == ep {
+			n.compSorted = append(n.compSorted, f)
 		}
 	}
-	if math.IsInf(earliest, 1) {
+
+	n.stats.ObserveRecompute(components, len(n.compSorted))
+	global.ObserveRecompute(components, len(n.compSorted))
+
+	n.allocateComponent()
+
+	// Refresh completion projections for every touched flow.
+	for _, f := range n.compSorted {
+		n.updateCompletion(f, now)
+	}
+}
+
+// updateCompletion recomputes f's projected finish time and fixes the heap.
+func (n *Network) updateCompletion(f *Flow, now time.Duration) {
+	if f.rate <= 0 {
+		f.finishAt = farFuture
+		n.heapFix(f)
 		return
 	}
+	sec := f.remaining / f.rate
 	// Round the completion up to the next nanosecond: rounding down can
 	// schedule the event at the current instant with zero progress, looping
 	// forever.
-	delay := time.Duration(math.Ceil(earliest * float64(time.Second)))
-	if delay <= 0 {
-		delay = 1
-	}
-	n.engine.Schedule(delay, func() {
-		if gen != n.completionGen {
-			return
-		}
-		n.recompute()
-	})
-}
-
-// allocate assigns rates: greedy min-rate reservations in (priority, seq)
-// order, then per-tier max-min water-filling of the residual capacity.
-func (n *Network) allocate() {
-	if len(n.flows) == 0 {
+	if sec >= (farFuture - now).Seconds() {
+		f.finishAt = farFuture
+		n.heapFix(f)
 		return
 	}
-	free := make(map[topology.LinkID]float64, len(n.links))
-	for id, l := range n.links {
-		free[id] = l.capacity
+	d := time.Duration(math.Ceil(sec * float64(time.Second)))
+	if d <= 0 {
+		d = 1
 	}
-
-	flows := make([]*Flow, 0, len(n.flows))
-	for f := range n.flows {
-		f.rate = 0
-		flows = append(flows, f)
-	}
-	sort.Slice(flows, func(i, j int) bool {
-		if flows[i].priority != flows[j].priority {
-			return flows[i].priority > flows[j].priority
-		}
-		return flows[i].seq < flows[j].seq
-	})
-
-	// Phase 1: reservations.
-	for _, f := range flows {
-		want := f.minRate
-		if f.maxRate > 0 && want > f.maxRate {
-			want = f.maxRate
-		}
-		if want <= 0 {
-			continue
-		}
-		grant := want
-		for _, id := range f.path {
-			if free[id] < grant {
-				grant = free[id]
-			}
-		}
-		if grant <= 0 {
-			continue
-		}
-		f.rate = grant
-		for _, id := range f.path {
-			free[id] -= grant
-		}
-	}
-
-	// Phase 2: per-tier water-filling, highest priority first.
-	for lo := 0; lo < len(flows); {
-		hi := lo
-		for hi < len(flows) && flows[hi].priority == flows[lo].priority {
-			hi++
-		}
-		waterFill(flows[lo:hi], free)
-		lo = hi
-	}
+	f.finishAt = now + d
+	n.heapFix(f)
 }
 
-// waterFill distributes residual link capacity among tier flows by
-// progressive filling: repeatedly raise all unfrozen flows by the largest
-// uniform increment any link or cap allows, freezing flows that hit a cap or
-// a saturated link.
-func waterFill(tier []*Flow, free map[topology.LinkID]float64) {
-	type state struct {
-		f      *Flow
-		frozen bool
-	}
-	states := make([]state, len(tier))
-	active := 0
-	for i, f := range tier {
-		states[i].f = f
-		if f.maxRate > 0 && f.rate >= f.maxRate {
-			states[i].frozen = true
-		} else {
-			active++
+func sortFlowsBySeq(flows []*Flow) {
+	// Insertion sort: the finished set per recompute is almost always 0 or 1
+	// flows, and this avoids the sort.Slice closure allocation.
+	for i := 1; i < len(flows); i++ {
+		f := flows[i]
+		j := i - 1
+		for j >= 0 && flows[j].seq > f.seq {
+			flows[j+1] = flows[j]
+			j--
 		}
-	}
-	// Rates are resolved to 1 byte/s; below that, further filling is
-	// floating-point noise.
-	const eps = 1.0
-	for active > 0 {
-		// Freeze flows that can make no further progress: at their cap, or
-		// crossing a saturated link.
-		for i := range states {
-			if states[i].frozen {
-				continue
-			}
-			f := states[i].f
-			if f.maxRate > 0 && f.rate >= f.maxRate-eps {
-				states[i].frozen = true
-				active--
-				continue
-			}
-			for _, id := range f.path {
-				if free[id] <= eps {
-					states[i].frozen = true
-					active--
-					break
-				}
-			}
-		}
-		if active == 0 {
-			return
-		}
-		linkCount := map[topology.LinkID]int{}
-		for _, s := range states {
-			if s.frozen {
-				continue
-			}
-			for _, id := range s.f.path {
-				linkCount[id]++
-			}
-		}
-		// delta = largest uniform rate increment all constraints allow.
-		delta := math.Inf(1)
-		for id, cnt := range linkCount {
-			if d := free[id] / float64(cnt); d < delta {
-				delta = d
-			}
-		}
-		for _, s := range states {
-			if s.frozen {
-				continue
-			}
-			if s.f.maxRate > 0 {
-				if d := s.f.maxRate - s.f.rate; d < delta {
-					delta = d
-				}
-			}
-		}
-		if math.IsInf(delta, 1) || delta <= eps {
-			return
-		}
-		for i := range states {
-			if states[i].frozen {
-				continue
-			}
-			states[i].f.rate += delta
-			for _, id := range states[i].f.path {
-				free[id] -= delta
-			}
-		}
+		flows[j+1] = f
 	}
 }

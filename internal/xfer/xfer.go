@@ -50,14 +50,7 @@ type Path struct {
 
 // PathOf builds a Path, deriving Bps from the network's link capacities.
 func PathOf(net *netsim.Network, links []topology.LinkID) Path {
-	min := 0.0
-	for i, id := range links {
-		c := net.Capacity(id)
-		if i == 0 || c < min {
-			min = c
-		}
-	}
-	return Path{Links: links, Bps: min}
+	return Path{Links: links, Bps: net.PathBps(links)}
 }
 
 // Request describes one transfer.
