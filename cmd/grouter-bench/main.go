@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"grouter/internal/experiments"
+	"grouter/internal/metrics"
 	"grouter/internal/netsim"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	run := flag.String("run", "all", "experiment ID to run, or 'all'")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
 	allocStats := flag.Bool("allocstats", false, "print netsim allocator work counters after the runs")
+	faultStats := flag.Bool("faultstats", false, "print fault-injection and recovery counters after the runs")
 	flag.Parse()
 
 	if *list {
@@ -68,6 +70,10 @@ func main() {
 		if *allocStats {
 			fmt.Printf("  allocator: %s\n\n", netsim.Stats())
 			netsim.Stats().Reset()
+		}
+		if *faultStats {
+			fmt.Printf("  faults: %s\n\n", metrics.Faults())
+			metrics.Faults().Reset()
 		}
 	}
 }

@@ -6,13 +6,17 @@
 //
 //	grouter-sim -workflow traffic -system grouter -spec dgx-v100
 //	grouter-sim -workflow video -system infless+ -rps 12 -dur 30s
+//	grouter-sim -workflow image -trace-file arrivals.txt
 //	grouter-sim -workflow image -dot          # emit the DAG as Graphviz
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"grouter/internal/baselines"
@@ -27,6 +31,24 @@ import (
 	"grouter/internal/workflow"
 )
 
+// simConfig holds one fully-resolved simulation run. Everything in here is
+// deterministic: the same config produces byte-identical report output,
+// which is what the golden-trace test pins.
+type simConfig struct {
+	wf       *workflow.Workflow
+	system   string
+	spec     *topology.Spec
+	nodes    int
+	slots    int
+	batch    int
+	split    bool
+	pattern  trace.Pattern
+	rps      float64
+	dur      time.Duration
+	seed     int64
+	arrivals []time.Duration // non-nil overrides the generated trace
+}
+
 func main() {
 	wfName := flag.String("workflow", "traffic", "workflow: traffic, driving, video, image")
 	wfFile := flag.String("workflow-file", "", "load a custom workflow definition (JSON) instead")
@@ -40,6 +62,7 @@ func main() {
 	dur := flag.Duration("dur", 20*time.Second, "trace duration (virtual)")
 	seed := flag.Int64("seed", 1, "random seed")
 	slots := flag.Int("gpu-slots", 1, "concurrent functions per GPU (spatial sharing)")
+	traceFile := flag.String("trace-file", "", "read arrival offsets (one duration per line) instead of generating a trace")
 	dot := flag.Bool("dot", false, "print the workflow DAG as Graphviz and exit")
 	flag.Parse()
 
@@ -65,24 +88,51 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	mk, ok := planes(*seed)[*system]
-	if !ok {
-		fail("unknown system %q", *system)
+	cfg := simConfig{
+		wf: wf, system: *system, spec: spec,
+		nodes: *nodes, slots: *slots, batch: *batch, split: *split,
+		pattern: pat, rps: *rps, dur: *dur, seed: *seed,
+	}
+	if *traceFile != "" {
+		arrivals, err := loadTrace(*traceFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.arrivals = arrivals
 	}
 
+	start := time.Now()
+	if err := runSim(cfg, os.Stdout); err != nil {
+		fail("%v", err)
+	}
+	// Wall-clock is the one non-deterministic line; it stays out of runSim so
+	// the report above it is reproducible byte for byte.
+	fmt.Printf("(sim ran in %v wall clock)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runSim executes the configured simulation and writes the deterministic
+// report to w.
+func runSim(cfg simConfig, w io.Writer) error {
+	mk, ok := planes(cfg.seed)[cfg.system]
+	if !ok {
+		return fmt.Errorf("unknown system %q", cfg.system)
+	}
 	engine := sim.NewEngine()
 	defer engine.Close()
-	c := cluster.NewSpatial(engine, spec, *nodes, *slots, mk)
-	app := c.Deploy(wf, *batch, scheduler.Options{Node: -1, SplitAcrossNodes: *split, Seed: *seed})
-	arrivals := trace.Generate(trace.Spec{Pattern: pat, Duration: *dur, MeanRPS: *rps, Seed: *seed})
-	start := time.Now()
+	c := cluster.NewSpatial(engine, cfg.spec, cfg.nodes, cfg.slots, mk)
+	app := c.Deploy(cfg.wf, cfg.batch, scheduler.Options{Node: -1, SplitAcrossNodes: cfg.split, Seed: cfg.seed})
+	arrivals := cfg.arrivals
+	traceDesc := fmt.Sprintf("file(%d arrivals)", len(arrivals))
+	if arrivals == nil {
+		arrivals = trace.Generate(trace.Spec{Pattern: cfg.pattern, Duration: cfg.dur, MeanRPS: cfg.rps, Seed: cfg.seed})
+		traceDesc = fmt.Sprintf("%s(%.1f rps, %v)", cfg.pattern, cfg.rps, cfg.dur)
+	}
 	app.RunTrace(arrivals)
 
-	fmt.Printf("workflow=%s system=%s spec=%s nodes=%d batch=%d trace=%s(%.1f rps, %v)\n",
-		wf.Name, *system, spec.Name, *nodes, app.Batch, pat, *rps, *dur)
-	fmt.Printf("requests: %d completed (sim ran in %v wall clock)\n",
-		app.Completed, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("latency:  p50=%s p90=%s p99=%s max=%s\n",
+	fmt.Fprintf(w, "workflow=%s system=%s spec=%s nodes=%d batch=%d trace=%s\n",
+		cfg.wf.Name, cfg.system, cfg.spec.Name, cfg.nodes, app.Batch, traceDesc)
+	fmt.Fprintf(w, "requests: %d completed\n", app.Completed)
+	fmt.Fprintf(w, "latency:  p50=%s p90=%s p99=%s max=%s\n",
 		mss(app.E2E.P(0.5)), mss(app.E2E.P(0.9)), mss(app.E2E.P(0.99)), mss(app.E2E.Max()))
 	pass := app.XferGPU.Mean() + app.XferHost.Mean()
 	comp := app.Compute.Mean()
@@ -90,12 +140,42 @@ func main() {
 	if pass+comp > 0 {
 		share = pass.Seconds() / (pass + comp).Seconds()
 	}
-	fmt.Printf("breakdown: gFn-gFn=%s gFn-host=%s compute=%s passing-share=%.0f%%\n",
+	fmt.Fprintf(w, "breakdown: gFn-gFn=%s gFn-host=%s compute=%s passing-share=%.0f%%\n",
 		mss(app.XferGPU.Mean()), mss(app.XferHost.Mean()), mss(comp), share*100)
-	fmt.Printf("slo: %s, compliance %.0f%%\n", mss(app.SLO), app.SLOCompliance()*100)
+	fmt.Fprintf(w, "slo: %s, compliance %.0f%%\n", mss(app.SLO), app.SLOCompliance()*100)
 	st := c.Plane.Stats()
-	fmt.Printf("data plane: %d puts, %d gets, %d copies, %.1f GiB moved, %d control ops\n",
+	fmt.Fprintf(w, "data plane: %d puts, %d gets, %d copies, %.1f GiB moved, %d control ops\n",
 		st.Puts, st.Gets, st.Copies, float64(st.BytesMoved)/float64(1<<30), st.ControlOps)
+	return nil
+}
+
+// loadTrace reads arrival offsets from a file: one Go duration per line,
+// blank lines and '#' comments skipped.
+func loadTrace(path string) ([]time.Duration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []time.Duration
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func planes(seed int64) map[string]func(*fabric.Fabric) dataplane.Plane {

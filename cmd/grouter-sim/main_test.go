@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report fixtures")
+
+// goldenConfigs are the pinned runs: the checked-in arrival trace through two
+// data planes. Changing simulator timing on purpose requires regenerating the
+// fixtures with -update-golden and reviewing the diff.
+func goldenConfigs(t *testing.T) map[string]simConfig {
+	t.Helper()
+	arrivals, err := loadTrace(filepath.Join("testdata", "arrivals.txt"))
+	if err != nil {
+		t.Fatalf("loadTrace: %v", err)
+	}
+	wf := workflow.ByName("traffic")
+	if wf == nil {
+		t.Fatal("workflow traffic not registered")
+	}
+	spec := topology.SpecByName("dgx-v100")
+	if spec == nil {
+		t.Fatal("spec dgx-v100 not registered")
+	}
+	base := simConfig{
+		wf: wf, spec: spec,
+		nodes: 1, slots: 1, batch: 0,
+		pattern: trace.Bursty, rps: 8, seed: 1,
+		arrivals: arrivals,
+	}
+	g := base
+	g.system = "grouter"
+	n := base
+	n.system = "nvshmem+"
+	return map[string]simConfig{"grouter.golden": g, "nvshmem.golden": n}
+}
+
+// TestGoldenReport locks the full grouter-sim report for the checked-in
+// trace: the simulation is a deterministic function of its config, so any
+// drift in virtual-time results shows up as a byte diff against the fixture.
+func TestGoldenReport(t *testing.T) {
+	for name, cfg := range goldenConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := runSim(cfg, &out); err != nil {
+				t.Fatalf("runSim: %v", err)
+			}
+			path := filepath.Join("testdata", name)
+			if *updateGolden {
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestReportDeterministic runs the same config twice in fresh engines and
+// requires byte-identical reports — the driver-level determinism guarantee
+// that the chaos tests rely on.
+func TestReportDeterministic(t *testing.T) {
+	cfg := goldenConfigs(t)["grouter.golden"]
+	var a, b bytes.Buffer
+	if err := runSim(cfg, &a); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := runSim(cfg, &b); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two identical runs diverged:\n--- first ---\n%s--- second ---\n%s", a.Bytes(), b.Bytes())
+	}
+}

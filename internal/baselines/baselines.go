@@ -332,12 +332,14 @@ type singleLinkMigrator struct {
 	node int
 }
 
-func (m *singleLinkMigrator) ToHost(p *sim.Proc, gpu int, bytes int64) {
+func (m *singleLinkMigrator) ToHost(p *sim.Proc, gpu int, bytes int64) error {
 	m.pl.copyOver(p, "migrate-out", bytes, false, !m.pl.deepPlan, m.pl.f.Topo(m.node).GPUToHostLinks(gpu))
+	return nil
 }
 
-func (m *singleLinkMigrator) ToGPU(p *sim.Proc, gpu int, bytes int64) {
+func (m *singleLinkMigrator) ToGPU(p *sim.Proc, gpu int, bytes int64) error {
 	m.pl.copyOver(p, "migrate-in", bytes, false, !m.pl.deepPlan, m.pl.f.Topo(m.node).HostToGPULinks(gpu))
+	return nil
 }
 
 func min64(a, b int64) int64 {

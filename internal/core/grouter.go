@@ -14,10 +14,13 @@ import (
 	"math/rand"
 	"time"
 
+	"sort"
+
 	"grouter/internal/dataplane"
 	"grouter/internal/fabric"
 	"grouter/internal/harvest"
 	"grouter/internal/memsim"
+	"grouter/internal/metrics"
 	"grouter/internal/netsim"
 	"grouter/internal/pathsel"
 	"grouter/internal/sim"
@@ -35,6 +38,10 @@ const (
 	// MapLatency is sharing an already-resident buffer into a function's
 	// address space over CUDA IPC (zero-copy path).
 	MapLatency = 10 * time.Microsecond
+	// RematerializeLatency models recovering a crash-lost object from its
+	// durable origin (re-running the producer or fetching from persistent
+	// storage into host memory), before the normal host→GPU move.
+	RematerializeLatency = 5 * time.Millisecond
 )
 
 // Config toggles GROUTER's four optimizations (§4.1); the full system has
@@ -85,6 +92,9 @@ type rec struct {
 	bytes   int64
 	// workflow is the owning workflow ID for access control.
 	workflow string
+	// lost marks an object destroyed by a GPU crash; the next Get
+	// re-materializes it from its durable origin.
+	lost bool
 }
 
 // Plane is the GROUTER data plane over a fabric.
@@ -121,7 +131,18 @@ func New(f *fabric.Fabric, cfg Config) *Plane {
 	scfg := pl.storeConfig()
 	for n := range f.Nodes {
 		pl.stores = append(pl.stores, store.NewManager(f.Engine, f.Nodes[n], &migrator{pl: pl, node: n}, scfg))
-		pl.sel = append(pl.sel, pathsel.New(f.Topo(n)))
+		sel := pathsel.New(f.Topo(n))
+		topo := f.Topo(n)
+		// Fault-aware selection: a failed NVLink edge contributes no residual
+		// and Select returns nil when a pair is NVLink-cut, so re-planning
+		// after FailLink routes around dead edges or degrades to PCIe.
+		sel.Avail = func(i, j int) bool {
+			if topo.Spec.Switched {
+				return pl.f.Net.LinkUp(topo.NVPortOut(i)) && pl.f.Net.LinkUp(topo.NVPortIn(j))
+			}
+			return pl.f.Net.LinkUp(topo.NVLinkTo(i, j))
+		}
+		pl.sel = append(pl.sel, sel)
 		pl.localTables = append(pl.localTables, make(map[dataplane.DataID]bool))
 	}
 	return pl
@@ -201,7 +222,10 @@ func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.
 			dst = fabric.Location{Node: node, GPU: fabric.HostGPU}
 		}
 		if dst != ctx.Loc {
-			pl.move(p, ctx, ctx.Loc, dst, bytes, fmt.Sprintf("put:%s", ctx.Fn))
+			if err := pl.move(p, ctx, ctx.Loc, dst, bytes, fmt.Sprintf("put:%s", ctx.Fn)); err != nil {
+				pl.stores[node].Free(it)
+				return dataplane.DataRef{}, fmt.Errorf("grouter: put copy: %w", err)
+			}
 		}
 	}
 	pl.recs[id] = &rec{node: node, it: it, bytes: bytes, workflow: ctx.Workflow}
@@ -235,6 +259,11 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 		pl.localTables[ctx.Loc.Node][ref.ID] = true
 	}
 
+	if r.lost {
+		if err := pl.rematerialize(p, r); err != nil {
+			return err
+		}
+	}
 	src := pl.locate(r)
 	if r.it != nil {
 		pl.stores[r.node].Touch(r.it, p.Now())
@@ -243,8 +272,46 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 		p.Sleep(MapLatency) // zero-copy IPC mapping
 		return nil
 	}
-	pl.move(p, ctx, src, ctx.Loc, r.bytes, fmt.Sprintf("get:%s", ctx.Fn))
+	return pl.move(p, ctx, src, ctx.Loc, r.bytes, fmt.Sprintf("get:%s", ctx.Fn))
+}
+
+// rematerialize recovers a crash-lost object from its durable origin into
+// host memory on its home node: serverless intermediates are reproducible
+// (re-run the producer) or backed by persistent storage, so a crash costs
+// RematerializeLatency plus the normal host→GPU move — it does not sink the
+// workflow.
+func (pl *Plane) rematerialize(p *sim.Proc, r *rec) error {
+	blk, err := pl.f.NodeF(r.node).Host.Alloc(r.bytes)
+	if err != nil {
+		return fmt.Errorf("grouter: rematerialize %d bytes: %w", r.bytes, err)
+	}
+	p.Sleep(RematerializeLatency)
+	r.hostBlk = blk
+	r.lost = false
+	metrics.Faults().Rematerialized.Add(1)
 	return nil
+}
+
+// CrashGPU implements faults.Crasher: every object resident on the GPU's
+// store is destroyed (its memory dropped with no pre-warm credit) and marked
+// lost for re-materialization on next access. Records are processed in ID
+// order so the store's timeline samples stay deterministic. Host-resident
+// objects — including items previously evicted off this GPU — survive.
+func (pl *Plane) CrashGPU(node, gpu int) int {
+	var ids []dataplane.DataID
+	for id, r := range pl.recs {
+		if r.node == node && !r.lost && r.it != nil && !r.it.OnHost && r.it.GPU == gpu {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := pl.recs[id]
+		pl.stores[node].Drop(r.it)
+		r.it = nil
+		r.lost = true
+	}
+	return len(ids)
 }
 
 // locate returns the object's current physical location.
@@ -270,7 +337,9 @@ func (pl *Plane) Free(ref dataplane.DataRef) {
 		r.hostBlk.Free()
 		return
 	}
-	pl.stores[r.node].Free(r.it)
+	if r.it != nil { // a lost rec holds no memory
+		pl.stores[r.node].Free(r.it)
+	}
 }
 
 // harvestMode maps the BH/TA toggles to a harvesting mode. The GROUTER−BH
@@ -295,60 +364,94 @@ func (pl *Plane) rateOpts(ctx *dataplane.FnCtx, bytes int64) netsim.Options {
 }
 
 // move executes one logical copy between locations using the configured
-// transfer strategies.
-func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Location, bytes int64, label string) {
+// transfer strategies. Every branch installs a re-plan hook, so a transfer
+// whose paths die mid-flight regenerates routes against the current fault
+// state (the TA branch re-runs path selection and degrades to PCIe when the
+// pair is NVLink-cut). A zero-byte move is a no-op, not an error.
+func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Location, bytes int64, label string) error {
+	if bytes <= 0 {
+		return nil
+	}
 	pl.stats.Copies++
 	pl.stats.BytesMoved += bytes
 	req := xfer.Request{Label: label, Bytes: bytes, Opt: pl.rateOpts(ctx, bytes)}
+	transfer := func(gen func() []xfer.Path) error {
+		req.Paths = gen()
+		req.Replan = func(int) []xfer.Path { return gen() }
+		_, err := pl.x.Transfer(p, req)
+		return err
+	}
 
 	switch {
 	case src.Node == dst.Node && !src.IsHost() && !dst.IsHost():
 		// Intra-node gFn-gFn: parallel NVLink paths when topology-aware.
 		if pl.cfg.TopoAware {
-			if a := pl.sel[src.Node].Select(src.GPU, dst.GPU, 0); a != nil {
-				p.Sleep(pathsel.SelectLatency)
-				pl.stats.AddControl(1, pathsel.SelectLatency)
-				links := pl.sel[src.Node].Links(a)
-				for i, ls := range links {
-					req.Paths = append(req.Paths, xfer.Path{Links: ls, Bps: a.BWs[i]})
+			sel := pl.sel[src.Node]
+			var a *pathsel.Assignment
+			plan := func() []xfer.Path {
+				sel.Release(a)
+				if a = sel.Select(src.GPU, dst.GPU, 0); a == nil {
+					// NVLink-cut (or no NVLink connectivity): degrade to the
+					// PCIe peer-to-peer path.
+					links := pl.f.Topo(src.Node).PCIeP2PLinks(src.GPU, dst.GPU)
+					return []xfer.Path{xfer.PathOf(pl.f.Net, links)}
 				}
-				pl.x.Transfer(p, req)
-				pl.sel[src.Node].Release(a)
-				return
+				links := sel.Links(a)
+				paths := make([]xfer.Path, 0, len(links))
+				for i, ls := range links {
+					paths = append(paths, xfer.Path{Links: ls, Bps: a.BWs[i]})
+				}
+				return paths
 			}
+			p.Sleep(pathsel.SelectLatency)
+			pl.stats.AddControl(1, pathsel.SelectLatency)
+			err := transfer(plan)
+			sel.Release(a)
+			return err
 		}
-		links, _ := pl.f.SinglePath(src, dst)
-		req.Paths = []xfer.Path{xfer.PathOf(pl.f.Net, links)}
-		pl.x.Transfer(p, req)
+		return transfer(func() []xfer.Path {
+			links, _ := pl.f.SinglePath(src, dst)
+			return []xfer.Path{xfer.PathOf(pl.f.Net, links)}
+		})
 
 	case src.Node == dst.Node && src.IsHost():
 		// gFn-host (inbound): parallel PCIe staging through the pinned ring.
-		for _, ls := range harvest.HostToGPUPaths(pl.f.Topo(src.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
-			req.Paths = append(req.Paths, xfer.PathOf(pl.f.Net, ls))
-		}
 		req.Pinned = pl.f.NodeF(src.Node).Pinned
-		pl.x.Transfer(p, req)
+		return transfer(func() []xfer.Path {
+			var paths []xfer.Path
+			for _, ls := range harvest.HostToGPUPaths(pl.f.Topo(src.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
+				paths = append(paths, xfer.PathOf(pl.f.Net, ls))
+			}
+			return paths
+		})
 
 	case src.Node == dst.Node && dst.IsHost():
-		for _, ls := range harvest.GPUToHostPaths(pl.f.Topo(src.Node), src.GPU, pl.harvestMode(), pl.f.Net) {
-			req.Paths = append(req.Paths, xfer.PathOf(pl.f.Net, ls))
-		}
 		req.Pinned = pl.f.NodeF(src.Node).Pinned
-		pl.x.Transfer(p, req)
+		return transfer(func() []xfer.Path {
+			var paths []xfer.Path
+			for _, ls := range harvest.GPUToHostPaths(pl.f.Topo(src.Node), src.GPU, pl.harvestMode(), pl.f.Net) {
+				paths = append(paths, xfer.PathOf(pl.f.Net, ls))
+			}
+			return paths
+		})
 
 	case !src.IsHost() && !dst.IsHost():
 		// Cross-node gFn-gFn: GDR, multiple NICs when harvesting.
-		for _, ls := range harvest.CrossNodePaths(pl.f.Topo(src.Node), src.GPU, pl.f.Topo(dst.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
-			req.Paths = append(req.Paths, xfer.PathOf(pl.f.Net, ls))
-		}
-		pl.x.Transfer(p, req)
+		return transfer(func() []xfer.Path {
+			var paths []xfer.Path
+			for _, ls := range harvest.CrossNodePaths(pl.f.Topo(src.Node), src.GPU, pl.f.Topo(dst.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
+				paths = append(paths, xfer.PathOf(pl.f.Net, ls))
+			}
+			return paths
+		})
 
 	default:
 		// Host-involved cross-node: single host-mediated path.
-		links, hostStack := pl.f.SinglePath(src, dst)
-		req.Paths = []xfer.Path{xfer.PathOf(pl.f.Net, links)}
-		req.HostStack = hostStack
-		pl.x.Transfer(p, req)
+		return transfer(func() []xfer.Path {
+			links, hostStack := pl.f.SinglePath(src, dst)
+			req.HostStack = hostStack
+			return []xfer.Path{xfer.PathOf(pl.f.Net, links)}
+		})
 	}
 }
 
@@ -360,14 +463,14 @@ type migrator struct {
 	node int
 }
 
-func (m *migrator) ToHost(p *sim.Proc, gpu int, bytes int64) {
+func (m *migrator) ToHost(p *sim.Proc, gpu int, bytes int64) error {
 	src := fabric.Location{Node: m.node, GPU: gpu}
 	dst := fabric.Location{Node: m.node, GPU: fabric.HostGPU}
-	m.pl.move(p, nil, src, dst, bytes, "migrate-out")
+	return m.pl.move(p, nil, src, dst, bytes, "migrate-out")
 }
 
-func (m *migrator) ToGPU(p *sim.Proc, gpu int, bytes int64) {
+func (m *migrator) ToGPU(p *sim.Proc, gpu int, bytes int64) error {
 	src := fabric.Location{Node: m.node, GPU: fabric.HostGPU}
 	dst := fabric.Location{Node: m.node, GPU: gpu}
-	m.pl.move(p, nil, src, dst, bytes, "migrate-in")
+	return m.pl.move(p, nil, src, dst, bytes, "migrate-in")
 }

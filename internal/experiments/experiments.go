@@ -90,6 +90,7 @@ func All() []Experiment {
 		{"fig20c", "GPU memory overhead of storage", Fig20cMemoryOverhead},
 		{"ext-coldstart", "Extension: function pre-warming sensitivity", ExtColdStart},
 		{"ext-spatial", "Extension: spatial GPU sharing contention", ExtSpatialSharing},
+		{"ext-faults", "Extension: self-healing transfers under link faults", ExtFaults},
 	}
 }
 

@@ -148,7 +148,13 @@ func (n *Network) waterFill(tier []*Flow) {
 				delta = d
 			}
 		}
-		if math.IsInf(delta, 1) || delta <= waterFillEps {
+		// Apply even a sub-eps delta: it saturates the binding constraint
+		// (the argmin link drops to ~0 free, a binding cap is reached), so
+		// the next freeze pass retires at least one flow and the loop
+		// terminates. Stopping the whole tier on a tiny delta instead would
+		// starve flows whose own links still have capacity (they share no
+		// link with the binding one and deserve their fill).
+		if math.IsInf(delta, 1) || delta <= 0 {
 			break
 		}
 		for _, f := range tier {
@@ -283,7 +289,11 @@ func referenceWaterFill(tier []*Flow, free map[int]float64, rate map[*Flow]float
 				}
 			}
 		}
-		if math.IsInf(delta, 1) || delta <= waterFillEps {
+		// Mirror waterFill: apply sub-eps deltas so only the binding link's
+		// flows freeze; a tier-wide stop would starve flows in unrelated
+		// components of the tier (the incremental allocator fills those
+		// components independently, and this oracle must agree with it).
+		if math.IsInf(delta, 1) || delta <= 0 {
 			return
 		}
 		for _, f := range tier {

@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// FuzzFaultSchedule interleaves a seeded random schedule of fault operations
+// (FailLink / RestoreLink / SetLinkBps) with flow churn (Start / Cancel /
+// SetOptions) over randomized multi-component topologies, and checks the
+// fault-tolerance invariants:
+//
+//   - byte conservation: every flow ends with Transferred + undelivered
+//     bytes equal to the payload it was started with, whether it completed,
+//     failed mid-flight, or was dead on arrival;
+//   - allocation sanity: no negative rate, and the maintained per-link
+//     totals pass checkIntegrity after every event;
+//   - allocator agreement: at settled instants the incremental allocator's
+//     rates match the from-scratch reference (down links carry no flows, so
+//     the reference needs no fault awareness);
+//   - liveness: once every link is restored, all surviving flows drain.
+//
+// `go test` runs the seed corpus below deterministically; `-fuzz` explores.
+func FuzzFaultSchedule(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 987654321, -17} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		defer e.Close()
+		links := diffTopology(rng)
+		net := New(e, links)
+
+		type started struct {
+			flow  *Flow
+			bytes float64
+		}
+		var all []*started
+		var live []*Flow
+		downSet := map[topology.LinkID]bool{}
+		randLink := func() topology.LinkID { return links[rng.Intn(len(links))].ID }
+
+		nEvents := 40 + rng.Intn(40)
+		var horizon time.Duration
+		for i := 0; i < nEvents; i++ {
+			at := time.Duration(rng.Intn(5000)) * time.Millisecond
+			if at > horizon {
+				horizon = at
+			}
+			op := rng.Intn(20)
+			e.Schedule(at, func() {
+				switch {
+				case op < 8 || len(live) == 0:
+					// Paths may legitimately cross down links: such flows must
+					// fail at this instant with zero bytes moved.
+					fl := net.Start("fz", diffPath(rng, links),
+						float64(100+rng.Intn(300000)), diffOptions(rng))
+					all = append(all, &started{fl, fl.total})
+					live = append(live, fl)
+				case op < 10:
+					net.Cancel(live[rng.Intn(len(live))])
+				case op < 12:
+					live[rng.Intn(len(live))].SetOptions(diffOptions(rng))
+				case op < 15:
+					id := randLink()
+					net.FailLink(id)
+					downSet[id] = true
+				case op < 18:
+					id := randLink()
+					net.RestoreLink(id)
+					delete(downSet, id)
+				default:
+					net.SetLinkBps(randLink(), float64(20+rng.Intn(2000)))
+				}
+			})
+			e.Schedule(at+time.Nanosecond, func() {
+				if err := net.checkIntegrity(); err != nil {
+					t.Errorf("seed %d event %d: %v", seed, i, err)
+				}
+				if !net.ratesSettled() {
+					return
+				}
+				ref := net.allocateReference()
+				for _, fl := range net.order {
+					if fl.rate < 0 {
+						t.Errorf("seed %d: flow seq %d has negative rate %f", seed, fl.seq, fl.rate)
+					}
+					if d := fl.rate - ref[fl]; d > 1.0 || d < -1.0 {
+						t.Errorf("seed %d: flow %q(seq %d) incremental rate %f, reference %f",
+							seed, fl.label, fl.seq, fl.rate, ref[fl])
+					}
+				}
+			})
+		}
+		// Heal the fabric after the last event so surviving flows can drain
+		// and Run(0) terminates.
+		e.Schedule(horizon+time.Millisecond, func() {
+			for _, l := range links {
+				net.RestoreLink(l.ID)
+			}
+		})
+		e.Run(0)
+
+		if net.ActiveFlows() != 0 {
+			t.Errorf("seed %d: %d flows still active after drain", seed, net.ActiveFlows())
+		}
+		for i, s := range all {
+			fl := s.flow
+			if fl.canceled {
+				// Cancellation reports Remaining()==0 by contract; progress is
+				// frozen in Transferred.
+				if tr := fl.Transferred(); tr < 0 || tr > s.bytes+1e-6 {
+					t.Errorf("seed %d: canceled flow %d transferred %f of %f", seed, i, tr, s.bytes)
+				}
+				continue
+			}
+			if !fl.Done().Fired() {
+				t.Errorf("seed %d: flow %d never terminated", seed, i)
+				continue
+			}
+			got := fl.Transferred() + fl.Remaining()
+			// Completion forgives up to finishEpsilon undelivered bytes.
+			if math.Abs(got-s.bytes) > finishEpsilon+1e-6 {
+				t.Errorf("seed %d: flow %d bytes not conserved: transferred+remaining = %f, want %f (failed=%v)",
+					seed, i, got, s.bytes, fl.Failed())
+			}
+			if fl.Transferred() < 0 || fl.Remaining() < 0 {
+				t.Errorf("seed %d: flow %d negative byte count (t=%f r=%f)",
+					seed, i, fl.Transferred(), fl.Remaining())
+			}
+		}
+	})
+}

@@ -11,6 +11,10 @@ import (
 type linkState struct {
 	id       topology.LinkID
 	capacity float64
+	// down marks a failed link: no active flow ever crosses a down link
+	// (FailLink kills the crossing flows, Start fails new ones immediately),
+	// so the allocator never needs to special-case it.
+	down bool
 	// alloc is the maintained total rate of active flows crossing the link;
 	// it makes AllocatedOn/FreeOn O(1) and Utilization O(links).
 	alloc float64

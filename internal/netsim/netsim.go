@@ -102,10 +102,12 @@ type Flow struct {
 	priority int
 
 	rate       float64
+	total      float64
 	remaining  float64
 	lastUpdate time.Duration
 	done       *sim.Signal
 	canceled   bool
+	failed     bool
 	active     bool
 	net        *Network
 
@@ -205,6 +207,7 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 		minRate:    opt.MinRate,
 		maxRate:    opt.MaxRate,
 		priority:   opt.Priority,
+		total:      bytes,
 		remaining:  bytes,
 		lastUpdate: n.engine.Now(),
 		done:       sim.NewSignal(n.engine),
@@ -217,6 +220,17 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 		n.engine.Schedule(0, f.done.Fire)
 		return f
 	}
+	for _, id := range path {
+		if n.links[n.linkIndex[id]].down {
+			// The path crosses a failed link: the flow fails at the current
+			// instant without moving a byte. Callers observe Failed() after
+			// the done signal and retry or re-plan.
+			f.failed = true
+			metrics.Faults().FlowsKilled.Add(1)
+			n.engine.Schedule(0, f.done.Fire)
+			return f
+		}
+	}
 	f.pathIdx = make([]int32, len(path))
 	f.linkPos = make([]int32, len(path))
 	for i, id := range path {
@@ -228,7 +242,8 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 	return f
 }
 
-// Done returns the flow's completion signal.
+// Done returns the flow's terminal signal; it fires on completion AND on
+// failure (check Failed after waiting).
 func (f *Flow) Done() *sim.Signal { return f.done }
 
 // Label returns the flow's label.
@@ -237,8 +252,18 @@ func (f *Flow) Label() string { return f.label }
 // Rate returns the flow's current allocated rate in bytes/s.
 func (f *Flow) Rate() float64 { return f.rate }
 
+// Failed reports whether the flow was terminated by a link failure before
+// delivering all its bytes.
+func (f *Flow) Failed() bool { return f.failed }
+
 // Remaining returns the bytes left to transfer as of the current instant.
+// For a failed flow this is the undelivered byte count frozen at the failure
+// instant (the amount a retry must re-send); for a completed or canceled
+// flow it is 0.
 func (f *Flow) Remaining() float64 {
+	if f.failed {
+		return f.remaining
+	}
 	if f.done.Fired() || f.canceled {
 		return 0
 	}
@@ -248,6 +273,19 @@ func (f *Flow) Remaining() float64 {
 		return 0
 	}
 	return rem
+}
+
+// Transferred returns the bytes delivered so far. Failure and cancellation
+// freeze progress at the terminating instant, so for every flow
+// Transferred + undelivered bytes == the size it was started with.
+func (f *Flow) Transferred() float64 {
+	if f.active {
+		return f.total - f.Remaining()
+	}
+	if f.done.Fired() && !f.failed {
+		return f.total
+	}
+	return f.total - f.remaining
 }
 
 // SetOptions updates the flow's constraints and triggers a rate
@@ -278,6 +316,7 @@ func (n *Network) Cancel(f *Flow) {
 		return
 	}
 	f.canceled = true
+	f.advance(n.engine.Now())
 	// The canceled flow's own progress no longer matters; its peers keep
 	// their rates until the recompute this schedules (same instant), so
 	// their lazily-advanced progress is unaffected.
@@ -287,6 +326,122 @@ func (n *Network) Cancel(f *Flow) {
 		n.dirtyLinks = append(n.dirtyLinks, int(li))
 	}
 	n.requestEvent(n.engine.Now())
+}
+
+// advance moves the flow's lazily-tracked progress to now at its current
+// rate.
+func (f *Flow) advance(now time.Duration) {
+	elapsed := (now - f.lastUpdate).Seconds()
+	if elapsed > 0 {
+		f.remaining -= f.rate * elapsed
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastUpdate = now
+}
+
+// --- fault operations (driven by internal/faults) ---
+
+// LinkUp reports whether id is registered and not failed.
+func (n *Network) LinkUp(id topology.LinkID) bool {
+	i, ok := n.linkIndex[id]
+	return ok && !n.links[i].down
+}
+
+// PathUp reports whether every link of the path is registered and up.
+func (n *Network) PathUp(links []topology.LinkID) bool {
+	if len(links) == 0 {
+		return false
+	}
+	for _, id := range links {
+		if !n.LinkUp(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetLinkBps changes a link's capacity at the current instant (degradation or
+// recovery). Crossing flows keep their lazily-advanced progress and are
+// re-rated by the recompute this schedules. Panics on an unknown link or
+// non-positive capacity, like AddLink.
+func (n *Network) SetLinkBps(id topology.LinkID, bps float64) {
+	i, ok := n.linkIndex[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: SetLinkBps on unknown link %s", id))
+	}
+	if bps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s capacity %f (use FailLink for outages)", id, bps))
+	}
+	if n.links[i].capacity == bps {
+		return
+	}
+	n.links[i].capacity = bps
+	n.dirtyLinks = append(n.dirtyLinks, i)
+	n.requestEvent(n.engine.Now())
+}
+
+// FailLink takes a link down. Every flow crossing it is terminated at the
+// current instant with its progress frozen (Failed() true, Done() fired);
+// new flows whose path crosses the link fail immediately until RestoreLink.
+// Failing an already-down link is a no-op.
+func (n *Network) FailLink(id topology.LinkID) {
+	i, ok := n.linkIndex[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: FailLink on unknown link %s", id))
+	}
+	l := &n.links[i]
+	if l.down {
+		return
+	}
+	l.down = true
+	now := n.engine.Now()
+	// Snapshot and order the victims by seq so the done signals fire in a
+	// deterministic order regardless of link-list layout.
+	victims := make([]*Flow, 0, len(l.flows))
+	for _, s := range l.flows {
+		victims = append(victims, s.f)
+	}
+	sortFlowsBySeq(victims)
+	for _, f := range victims {
+		n.failFlow(f, now)
+	}
+	n.dirtyLinks = append(n.dirtyLinks, i)
+	n.requestEvent(now)
+}
+
+// RestoreLink brings a failed link back at its current capacity. Flows killed
+// by the outage stay failed; only new Starts see the restored link.
+func (n *Network) RestoreLink(id topology.LinkID) {
+	i, ok := n.linkIndex[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: RestoreLink on unknown link %s", id))
+	}
+	n.links[i].down = false
+}
+
+// failFlow terminates one flow at a link failure: progress is advanced to the
+// failure instant and frozen, peers sharing any of its links are queued for
+// recompute, and the done signal fires. A flow that had already delivered all
+// its bytes at the failure instant completes normally instead.
+func (n *Network) failFlow(f *Flow, now time.Duration) {
+	if !f.active {
+		return
+	}
+	f.advance(now)
+	n.removeFlow(f)
+	f.rate = 0
+	for _, li := range f.pathIdx {
+		n.dirtyLinks = append(n.dirtyLinks, int(li))
+	}
+	if f.remaining <= finishEpsilon {
+		f.remaining = 0
+	} else {
+		f.failed = true
+		metrics.Faults().FlowsKilled.Add(1)
+	}
+	f.done.Fire()
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -391,14 +546,7 @@ func (n *Network) recomputeComponents(now time.Duration) {
 	// Advance component flows to the current instant and find the finished.
 	n.finished = n.finished[:0]
 	for _, f := range n.compFlows {
-		elapsed := (now - f.lastUpdate).Seconds()
-		if elapsed > 0 {
-			f.remaining -= f.rate * elapsed
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-		f.lastUpdate = now
+		f.advance(now)
 		if f.remaining <= finishEpsilon {
 			n.finished = append(n.finished, f)
 		}

@@ -54,6 +54,13 @@ type Selector struct {
 	// used[i][j] is reserved bandwidth on the directed edge i→j.
 	used   [][]float64
 	active map[*Assignment]struct{}
+
+	// Avail, when non-nil, reports whether the directed NVLink edge i→j is
+	// currently usable. Edges reported unavailable contribute zero residual
+	// and are excluded from selection, so re-planning after a link failure
+	// routes around dead NVLink edges (and Select returns nil — PCIe
+	// fallback — when the pair is cut off entirely).
+	Avail func(i, j int) bool
 }
 
 // New builds a selector for one node.
@@ -66,13 +73,30 @@ func New(node *topology.Node) *Selector {
 	return &Selector{node: node, spec: node.Spec, used: used, active: make(map[*Assignment]struct{})}
 }
 
-// residual returns free bandwidth on directed edge i→j.
+// residual returns free bandwidth on directed edge i→j (0 when the edge is
+// failed).
 func (s *Selector) residual(i, j int) float64 {
+	if s.Avail != nil && !s.Avail(i, j) {
+		return 0
+	}
 	r := s.spec.NVLinkBps(i, j) - s.used[i][j]
 	if r < 0 {
 		return 0
 	}
 	return r
+}
+
+// pathAvail reports whether every edge of the GPU-hop path is usable.
+func (s *Selector) pathAvail(path []int) bool {
+	if s.Avail == nil {
+		return true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !s.Avail(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // outResidual sums free bandwidth leaving g; inResidual entering g.
@@ -157,6 +181,9 @@ func (s *Selector) Select(src, dst, maxHops int) *Assignment {
 		maxHops = DefaultMaxHops
 	}
 	if s.spec.Switched {
+		if !s.pathAvail([]int{src, dst}) {
+			return nil
+		}
 		// NVSwitch: the single switch path at port bandwidth.
 		a := &Assignment{src: src, dst: dst,
 			Paths: [][]int{{src, dst}}, BWs: []float64{s.spec.SwitchPortBps}}
@@ -194,14 +221,15 @@ func (s *Selector) Select(src, dst, maxHops int) *Assignment {
 		return false
 	}
 
-	// Phase 1: idle paths, shortest first.
+	// Phase 1: idle paths, shortest first. A failed edge zeroes a path's
+	// residual, so dead paths are skipped rather than reserved.
 	for {
 		var best []int
 		for _, p := range cands {
 			if taken(p) {
 				continue
 			}
-			if _, idle := s.pathResidual(p); idle {
+			if bw, idle := s.pathResidual(p); idle && bw > 0 {
 				best = p
 				break
 			}
@@ -210,9 +238,6 @@ func (s *Selector) Select(src, dst, maxHops int) *Assignment {
 			break
 		}
 		bw, _ := s.pathResidual(best)
-		if bw <= 0 {
-			break
-		}
 		s.reserve(best, bw)
 		a.Paths = append(a.Paths, best)
 		a.BWs = append(a.BWs, bw)
@@ -244,10 +269,19 @@ func (s *Selector) Select(src, dst, maxHops int) *Assignment {
 	}
 
 	if len(a.Paths) == 0 {
-		// Everything saturated: share the direct (or shortest) path.
-		p := cands[0]
-		a.Paths = append(a.Paths, p)
-		a.BWs = append(a.BWs, s.node.PathBandwidth(p)/2)
+		// Everything saturated: share the shortest still-usable path. When
+		// every candidate crosses a failed edge the pair is NVLink-cut and
+		// the caller falls back to PCIe.
+		for _, p := range cands {
+			if s.pathAvail(p) {
+				a.Paths = append(a.Paths, p)
+				a.BWs = append(a.BWs, s.node.PathBandwidth(p)/2)
+				break
+			}
+		}
+		if len(a.Paths) == 0 {
+			return nil
+		}
 	}
 	s.active[a] = struct{}{}
 	return a

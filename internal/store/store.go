@@ -92,10 +92,12 @@ func (c Config) withDefaults() Config {
 }
 
 // Migrator moves item bytes between a GPU and host memory on behalf of the
-// manager. Implementations block the calling process for the transfer time.
+// manager. Implementations block the calling process for the transfer time
+// and report transfer failures (e.g. every PCIe path down mid-fault); the
+// manager aborts the migration and leaves the item where it was.
 type Migrator interface {
-	ToHost(p *sim.Proc, gpu int, bytes int64)
-	ToGPU(p *sim.Proc, gpu int, bytes int64)
+	ToHost(p *sim.Proc, gpu int, bytes int64) error
+	ToGPU(p *sim.Proc, gpu int, bytes int64) error
 }
 
 // Item is one stored intermediate-data object.
@@ -320,6 +322,29 @@ func (m *Manager) Free(it *Item) {
 	m.sample(m.eng.Now())
 }
 
+// Drop removes an item whose bytes were destroyed by a fault (GPU crash):
+// the memory is released immediately with no pre-warm reservation — the
+// data is gone, not consumed, so its history should not inflate future pool
+// reservations. Safe against concurrent eviction/restoration: the freed
+// flag makes the in-flight migration clean up after itself.
+func (m *Manager) Drop(it *Item) {
+	if it.freed {
+		return
+	}
+	it.freed = true
+	delete(m.items, it.ID)
+	if fs := m.funcs[it.Fn]; fs != nil {
+		fs.live--
+	}
+	if it.OnHost {
+		it.hostBlock.Free()
+		it.hostBlock = nil
+	} else {
+		m.pools[it.GPU].Release(it.Bytes)
+	}
+	m.sample(m.eng.Now())
+}
+
 // ensure makes room for bytes on GPU g, migrating items per policy. It
 // reports whether the pool can now hold the bytes within the storage limit.
 func (m *Manager) ensure(p *sim.Proc, g int, bytes int64) bool {
@@ -375,10 +400,16 @@ func (m *Manager) evict(p *sim.Proc, it *Item) {
 		it.migrating = false
 		return
 	}
-	m.mig.ToHost(p, it.GPU, it.Bytes)
+	migErr := m.mig.ToHost(p, it.GPU, it.Bytes)
 	if it.freed {
 		// Consumed while migrating; the pool bytes were already released.
 		blk.Free()
+		return
+	}
+	if migErr != nil {
+		// Transfer failed: the item stays GPU-resident.
+		blk.Free()
+		it.migrating = false
 		return
 	}
 	m.pools[it.GPU].Release(it.Bytes)
@@ -410,9 +441,15 @@ func (m *Manager) Restore(p *sim.Proc, it *Item) bool {
 	if !warm {
 		p.Sleep(memsim.RawAllocLatency)
 	}
-	m.mig.ToGPU(p, it.GPU, it.Bytes)
+	migErr := m.mig.ToGPU(p, it.GPU, it.Bytes)
 	if it.freed {
 		pool.Release(it.Bytes)
+		return false
+	}
+	if migErr != nil {
+		// Transfer failed: the item stays host-resident.
+		pool.Release(it.Bytes)
+		it.migrating = false
 		return false
 	}
 	it.hostBlock.Free()

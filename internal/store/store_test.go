@@ -15,13 +15,15 @@ const MB = int64(1) << 20
 // sleepMigrator models migration at 10 GB/s.
 type sleepMigrator struct{ toHost, toGPU int }
 
-func (s *sleepMigrator) ToHost(p *sim.Proc, gpu int, bytes int64) {
+func (s *sleepMigrator) ToHost(p *sim.Proc, gpu int, bytes int64) error {
 	s.toHost++
 	p.Sleep(time.Duration(float64(bytes) / 10e9 * float64(time.Second)))
+	return nil
 }
-func (s *sleepMigrator) ToGPU(p *sim.Proc, gpu int, bytes int64) {
+func (s *sleepMigrator) ToGPU(p *sim.Proc, gpu int, bytes int64) error {
 	s.toGPU++
 	p.Sleep(time.Duration(float64(bytes) / 10e9 * float64(time.Second)))
+	return nil
 }
 
 func testManager(e *sim.Engine, cfg Config) (*Manager, *sleepMigrator) {

@@ -13,10 +13,14 @@
 package xfer
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"time"
 
 	"grouter/internal/fabric"
 	"grouter/internal/memsim"
+	"grouter/internal/metrics"
 	"grouter/internal/netsim"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
@@ -39,6 +43,71 @@ const (
 	// network transfer (kernel TCP stack vs GPUDirect RDMA).
 	HostStackLatency = 200 * time.Microsecond
 )
+
+// Retry defaults: a failed attempt backs off exponentially from
+// DefaultBackoffBase, doubling per attempt up to DefaultBackoffCap, for at
+// most DefaultMaxAttempts attempts total.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBackoffBase = 50 * time.Microsecond
+	DefaultBackoffCap  = 5 * time.Millisecond
+)
+
+// Typed request/transfer errors.
+var (
+	// ErrNoPaths is returned for a request with no candidate paths.
+	ErrNoPaths = errors.New("xfer: request has no paths")
+	// ErrZeroBytes is returned for a request with a non-positive byte count.
+	ErrZeroBytes = errors.New("xfer: request has no bytes")
+	// ErrDeadline is returned when a transfer's deadline expires; in-flight
+	// flows are canceled.
+	ErrDeadline = errors.New("xfer: deadline exceeded")
+	// ErrPathsDown is returned when every candidate path crosses a failed
+	// link and re-planning produced no alternative.
+	ErrPathsDown = errors.New("xfer: no viable path")
+)
+
+// RetryPolicy bounds a transfer's recovery from link failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 = no retry); 0 uses
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// BackoffBase is the sleep before the first retry, doubled per attempt;
+	// 0 uses DefaultBackoffBase.
+	BackoffBase time.Duration
+	// BackoffCap bounds the backoff; 0 uses DefaultBackoffCap.
+	BackoffCap time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = DefaultMaxAttempts
+	}
+	if r.BackoffBase == 0 {
+		r.BackoffBase = DefaultBackoffBase
+	}
+	if r.BackoffCap == 0 {
+		r.BackoffCap = DefaultBackoffCap
+	}
+	return r
+}
+
+// backoff returns the sleep before the given retry attempt (attempt >= 1):
+// base << (attempt-1), capped. Deterministic — no jitter — so fault scenarios
+// replay identically.
+func (r RetryPolicy) backoff(attempt int) time.Duration {
+	d := r.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= r.BackoffCap {
+			return r.BackoffCap
+		}
+	}
+	if d > r.BackoffCap {
+		d = r.BackoffCap
+	}
+	return d
+}
 
 // Path is one candidate route for a transfer.
 type Path struct {
@@ -67,6 +136,29 @@ type Request struct {
 	// circular pinned buffer: the transfer holds min(Bytes, buffer) bytes of
 	// the gate for its duration.
 	Pinned *memsim.ByteGate
+
+	// Deadline, when positive, bounds the transfer's total virtual time
+	// (measured from the Transfer call). On expiry in-flight flows are
+	// canceled and Transfer returns ErrDeadline.
+	Deadline time.Duration
+	// Retry bounds recovery from link failures; the zero value uses the
+	// package defaults.
+	Retry RetryPolicy
+	// Replan, when non-nil, is consulted before each retry attempt to
+	// re-select the candidate paths (e.g. falling back from NVLink to PCIe
+	// after a persistent failure). Returning nil keeps the previous paths.
+	Replan func(attempt int) []Path
+}
+
+// validate checks the request's static invariants.
+func (r *Request) validate() error {
+	if r.Bytes <= 0 {
+		return fmt.Errorf("%w: %q has %d bytes", ErrZeroBytes, r.Label, r.Bytes)
+	}
+	if len(r.Paths) == 0 {
+		return fmt.Errorf("%w: %q", ErrNoPaths, r.Label)
+	}
+	return nil
 }
 
 // Manager executes transfers on a fabric.
@@ -82,9 +174,15 @@ func NewManager(f *fabric.Fabric) *Manager {
 }
 
 // Transfer runs the request to completion from process p and returns the
-// elapsed virtual time. Zero-byte transfers still pay setup latency.
-func (m *Manager) Transfer(p *sim.Proc, req Request) time.Duration {
+// elapsed virtual time. Flows killed by link failures are retried with
+// exponential backoff (only the undelivered bytes are re-sent), consulting
+// req.Replan for fresh paths; paths crossing currently-failed links are
+// skipped. A nil error means every byte arrived.
+func (m *Manager) Transfer(p *sim.Proc, req Request) (time.Duration, error) {
 	start := p.Now()
+	if err := req.validate(); err != nil {
+		return 0, err
+	}
 	setup := SetupLatency + BatchLatency
 	if req.HostStack {
 		setup += HostStackLatency
@@ -95,29 +193,133 @@ func (m *Manager) Transfer(p *sim.Proc, req Request) time.Duration {
 	if req.Pinned != nil {
 		held = req.Pinned.Acquire(p, req.Bytes)
 	}
-
-	flows := m.startFlows(req)
-	for _, f := range flows {
-		f.Done().Wait(p)
-	}
-
+	elapsed, err := m.transferAttempts(p, req, start)
 	if req.Pinned != nil && held > 0 {
 		req.Pinned.Release(held)
 	}
-	return p.Now() - start
+	return elapsed, err
+}
+
+// transferAttempts drives the retry loop: each attempt re-sends the bytes
+// still undelivered over the currently-alive subset of the candidate paths.
+func (m *Manager) transferAttempts(p *sim.Proc, req Request, start time.Duration) (time.Duration, error) {
+	deadline := time.Duration(0)
+	if req.Deadline > 0 {
+		deadline = start + req.Deadline
+	}
+	pol := req.Retry.withDefaults()
+	paths := req.Paths
+	bytes := req.Bytes
+	var err error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			metrics.Faults().Retries.Add(1)
+			p.Sleep(pol.backoff(attempt))
+			if req.Replan != nil {
+				if np := req.Replan(attempt); len(np) > 0 {
+					paths = np
+					metrics.Faults().Replans.Add(1)
+				}
+			}
+		}
+		if deadline > 0 && p.Now() >= deadline {
+			err = ErrDeadline
+			break
+		}
+		alive := m.alivePaths(paths)
+		if len(alive) == 0 {
+			// Every path is down; back off and hope for a restore or a
+			// re-plan on the next attempt.
+			err = fmt.Errorf("%w: %q", ErrPathsDown, req.Label)
+			continue
+		}
+		flows := m.startFlows(req.Label, bytes, alive, req.Opt, req.Bytes)
+		if m.awaitFlows(p, flows, deadline) {
+			metrics.Faults().TransfersFailed.Add(1)
+			return p.Now() - start, ErrDeadline
+		}
+		undelivered := 0.0
+		for _, f := range flows {
+			if f.Failed() {
+				undelivered += f.Remaining()
+			}
+		}
+		if undelivered == 0 {
+			if attempt > 0 {
+				metrics.Faults().DegradedBytes.Add(bytes)
+			}
+			return p.Now() - start, nil
+		}
+		bytes = int64(math.Ceil(undelivered))
+		err = fmt.Errorf("xfer: %q lost a path mid-transfer (%d bytes undelivered)", req.Label, bytes)
+	}
+	metrics.Faults().TransfersFailed.Add(1)
+	return p.Now() - start, err
+}
+
+// alivePaths filters out paths crossing a failed link.
+func (m *Manager) alivePaths(paths []Path) []Path {
+	alive := paths[:0:0]
+	for _, pa := range paths {
+		if m.Fabric.Net.PathUp(pa.Links) {
+			alive = append(alive, pa)
+		}
+	}
+	return alive
+}
+
+// awaitFlows blocks p until every flow reaches a terminal state (done or
+// failed), or until the absolute deadline (0 = none) expires — in which case
+// the surviving flows are canceled and awaitFlows reports true.
+func (m *Manager) awaitFlows(p *sim.Proc, flows []*netsim.Flow, deadline time.Duration) (timedOut bool) {
+	if deadline <= 0 {
+		for _, f := range flows {
+			f.Done().Wait(p)
+		}
+		return false
+	}
+	e := m.Fabric.Engine
+	agg := sim.NewSignal(e)
+	remaining := len(flows)
+	for _, f := range flows {
+		waitFlow(e, f, func() {
+			remaining--
+			if remaining == 0 {
+				agg.Fire()
+			}
+		})
+	}
+	// Daemon: an expiry armed past the natural end of the simulation must not
+	// keep Run(0) alive.
+	e.ScheduleDaemon(deadline-e.Now(), func() {
+		if agg.Fired() {
+			return
+		}
+		timedOut = true
+		for _, f := range flows {
+			m.Fabric.Net.Cancel(f)
+		}
+		agg.Fire()
+	})
+	agg.Wait(p)
+	return timedOut
 }
 
 // TransferAsync starts the request from event context and returns a signal
 // fired on completion. It does not model pinned-buffer backpressure (async
-// callers manage their own staging).
+// callers manage their own staging) and does not retry on link failure; an
+// invalid request panics, since event context has no error channel.
 func (m *Manager) TransferAsync(req Request) *sim.Signal {
+	if err := req.validate(); err != nil {
+		panic(err)
+	}
 	done := sim.NewSignal(m.Fabric.Engine)
 	setup := SetupLatency + BatchLatency
 	if req.HostStack {
 		setup += HostStackLatency
 	}
 	m.Fabric.Engine.Schedule(setup, func() {
-		flows := m.startFlows(req)
+		flows := m.startFlows(req.Label, req.Bytes, req.Paths, req.Opt, req.Bytes)
 		if len(flows) == 0 {
 			done.Fire()
 			return
@@ -151,26 +353,25 @@ func waitFlow(e *sim.Engine, f *netsim.Flow, fn func()) {
 	})
 }
 
-// startFlows splits the request's bytes over its paths and launches flows.
-func (m *Manager) startFlows(req Request) []*netsim.Flow {
-	if len(req.Paths) == 0 {
-		panic("xfer: transfer with no paths: " + req.Label)
-	}
-	split := SplitBytes(req.Bytes, req.Paths, m.ChunkBytes)
+// startFlows splits bytes over the given paths and launches flows. origBytes
+// is the request's full payload: min-rate reservations are scaled against it
+// so a retry re-sending a residue does not inflate its per-byte rate floor.
+func (m *Manager) startFlows(label string, bytes int64, paths []Path, opt netsim.Options, origBytes int64) []*netsim.Flow {
+	split := SplitBytes(bytes, paths, m.ChunkBytes)
 	var flows []*netsim.Flow
 	for i, b := range split {
 		if b <= 0 {
 			continue
 		}
-		opt := req.Opt
-		if opt.MinRate > 0 {
-			opt.MinRate = opt.MinRate * float64(b) / float64(req.Bytes)
+		o := opt
+		if o.MinRate > 0 {
+			o.MinRate = o.MinRate * float64(b) / float64(origBytes)
 		}
-		flows = append(flows, m.Fabric.Net.Start(req.Label, req.Paths[i].Links, float64(b), opt))
+		flows = append(flows, m.Fabric.Net.Start(label, paths[i].Links, float64(b), o))
 	}
 	if flows == nil {
 		// Entire payload rounded into path 0.
-		flows = append(flows, m.Fabric.Net.Start(req.Label, req.Paths[0].Links, float64(req.Bytes), req.Opt))
+		flows = append(flows, m.Fabric.Net.Start(label, paths[0].Links, float64(bytes), opt))
 	}
 	return flows
 }

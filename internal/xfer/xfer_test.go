@@ -66,7 +66,7 @@ func TestSinglePathTransferLatency(t *testing.T) {
 	var elapsed time.Duration
 	e.Go("t", func(p *sim.Proc) {
 		// 48 MB over the 0→3 double NVLink (48 GB/s) ≈ 1 ms.
-		elapsed = m.Transfer(p, Request{
+		elapsed, _ = m.Transfer(p, Request{
 			Label: "t",
 			Bytes: 48 * MB,
 			Paths: []Path{PathOf(f.Net, n.NVLinkPathLinks([]int{0, 3}))},
@@ -87,8 +87,8 @@ func TestParallelPathsAggregateBandwidth(t *testing.T) {
 	indirect := PathOf(f.Net, n.NVLinkPathLinks([]int{0, 1, 3})) // 24 GB/s
 	var one, both time.Duration
 	e.Go("single", func(p *sim.Proc) {
-		one = m.Transfer(p, Request{Label: "s", Bytes: 288 * MB, Paths: []Path{direct}})
-		both = m.Transfer(p, Request{Label: "d", Bytes: 288 * MB, Paths: []Path{direct, indirect}})
+		one, _ = m.Transfer(p, Request{Label: "s", Bytes: 288 * MB, Paths: []Path{direct}})
+		both, _ = m.Transfer(p, Request{Label: "d", Bytes: 288 * MB, Paths: []Path{direct, indirect}})
 	})
 	e.Run(0)
 	// Two paths at 48+24 = 72 GB/s vs 48 GB/s: ~1.5x speedup.
@@ -107,8 +107,8 @@ func TestHostStackAddsLatency(t *testing.T) {
 	rx := f.Topo(1).NICRx(0)
 	var plain, stack time.Duration
 	e.Go("t", func(p *sim.Proc) {
-		plain = m.Transfer(p, Request{Label: "p", Bytes: MB, Paths: []Path{PathOf(f.Net, []topology.LinkID{tx, rx})}})
-		stack = m.Transfer(p, Request{Label: "s", Bytes: MB, Paths: []Path{PathOf(f.Net, []topology.LinkID{tx, rx})}, HostStack: true})
+		plain, _ = m.Transfer(p, Request{Label: "p", Bytes: MB, Paths: []Path{PathOf(f.Net, []topology.LinkID{tx, rx})}})
+		stack, _ = m.Transfer(p, Request{Label: "s", Bytes: MB, Paths: []Path{PathOf(f.Net, []topology.LinkID{tx, rx})}, HostStack: true})
 	})
 	e.Run(0)
 	if d := stack - plain; d < HostStackLatency*9/10 || d > HostStackLatency*11/10 {
