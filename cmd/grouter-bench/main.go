@@ -27,7 +27,13 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
 	allocStats := flag.Bool("allocstats", false, "print netsim allocator work counters after the runs")
 	faultStats := flag.Bool("faultstats", false, "print fault-injection and recovery counters after the runs")
+	spanStats := flag.Bool("span-stats", false, "print a per-request critical-path latency breakdown and exit")
 	flag.Parse()
+
+	if *spanStats {
+		fmt.Println(experiments.SpanStatsTable().Format())
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -24,6 +24,7 @@ import (
 	"grouter/internal/core"
 	"grouter/internal/dataplane"
 	"grouter/internal/fabric"
+	"grouter/internal/obs"
 	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
@@ -47,6 +48,7 @@ type simConfig struct {
 	dur      time.Duration
 	seed     int64
 	arrivals []time.Duration // non-nil overrides the generated trace
+	traceOut io.Writer       // non-nil enables span tracing and receives the export
 }
 
 func main() {
@@ -63,6 +65,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	slots := flag.Int("gpu-slots", 1, "concurrent functions per GPU (spatial sharing)")
 	traceFile := flag.String("trace-file", "", "read arrival offsets (one duration per line) instead of generating a trace")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
 	dot := flag.Bool("dot", false, "print the workflow DAG as Graphviz and exit")
 	flag.Parse()
 
@@ -100,6 +103,14 @@ func main() {
 		}
 		cfg.arrivals = arrivals
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		cfg.traceOut = f
+	}
 
 	start := time.Now()
 	if err := runSim(cfg, os.Stdout); err != nil {
@@ -119,6 +130,10 @@ func runSim(cfg simConfig, w io.Writer) error {
 	}
 	engine := sim.NewEngine()
 	defer engine.Close()
+	var tracer *obs.Tracer
+	if cfg.traceOut != nil {
+		tracer = obs.Attach(engine)
+	}
 	c := cluster.NewSpatial(engine, cfg.spec, cfg.nodes, cfg.slots, mk)
 	app := c.Deploy(cfg.wf, cfg.batch, scheduler.Options{Node: -1, SplitAcrossNodes: cfg.split, Seed: cfg.seed})
 	arrivals := cfg.arrivals
@@ -128,6 +143,11 @@ func runSim(cfg simConfig, w io.Writer) error {
 		traceDesc = fmt.Sprintf("%s(%.1f rps, %v)", cfg.pattern, cfg.rps, cfg.dur)
 	}
 	app.RunTrace(arrivals)
+	if cfg.traceOut != nil {
+		if err := tracer.Export(cfg.traceOut); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
 
 	fmt.Fprintf(w, "workflow=%s system=%s spec=%s nodes=%d batch=%d trace=%s\n",
 		cfg.wf.Name, cfg.system, cfg.spec.Name, cfg.nodes, app.Batch, traceDesc)

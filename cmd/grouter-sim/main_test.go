@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,6 +71,61 @@ func TestGoldenReport(t *testing.T) {
 				t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, out.Bytes(), want)
 			}
 		})
+	}
+}
+
+// traceConfig is the pinned span-trace run: the grouter golden config cut to
+// its first four arrivals so the fixture stays reviewable.
+func traceConfig(t *testing.T) (simConfig, *bytes.Buffer) {
+	t.Helper()
+	cfg := goldenConfigs(t)["grouter.golden"]
+	cfg.arrivals = cfg.arrivals[:4]
+	var buf bytes.Buffer
+	cfg.traceOut = &buf
+	return cfg, &buf
+}
+
+// TestTraceGolden locks the -trace-out export: it must be valid Chrome
+// trace-event JSON, byte-identical across same-config runs, and byte-identical
+// to the checked-in fixture.
+func TestTraceGolden(t *testing.T) {
+	cfg, buf := traceConfig(t)
+	var report bytes.Buffer
+	if err := runSim(cfg, &report); err != nil {
+		t.Fatalf("runSim: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+
+	cfg2, buf2 := traceConfig(t)
+	if err := runSim(cfg2, io.Discard); err != nil {
+		t.Fatalf("second runSim: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two identical runs produced different trace exports")
+	}
+
+	path := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from %s (%d bytes got, %d want); regenerate with -update-golden and review",
+			path, buf.Len(), len(want))
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"grouter/internal/fabric"
 	"grouter/internal/metrics"
 	"grouter/internal/models"
+	"grouter/internal/obs"
 	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
@@ -132,6 +133,10 @@ type App struct {
 	// until first use: one instance per stage from Placement).
 	pools       map[scheduler.StageInst][]fabric.Location
 	scaleEvents int64
+
+	// Breakdown, when non-nil, records a per-request critical-path latency
+	// attribution (see EnableBreakdown).
+	Breakdown *Breakdown
 }
 
 // Deploy places wf's instances and returns the app. batch <= 0 uses the
@@ -143,6 +148,7 @@ func (c *Cluster) Deploy(wf *workflow.Workflow, batch int, opt scheduler.Options
 	if batch <= 0 {
 		batch = wf.Batch
 	}
+	c.Placer.Trace = obs.TracerOf(c.Engine)
 	app := &App{
 		C:         c,
 		WF:        wf,
@@ -182,6 +188,15 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 	start := c.Engine.Now()
 	rng := rand.New(rand.NewSource(a.seedBase + seq))
 
+	tr := obs.TracerOf(c.Engine)
+	reqSpan := tr.BeginOn(obs.ReqTrack(seq), obs.CatRequest, a.WF.Name)
+	tr.SetAttrInt(reqSpan, "seq", seq)
+	tr.SetAttrInt(reqSpan, "batch", int64(batch))
+	var rt *reqTrace
+	if a.Breakdown != nil {
+		rt = &reqTrace{start: start, insts: map[scheduler.StageInst]*instTrace{}}
+	}
+
 	// Per-instance output futures.
 	outs := map[scheduler.StageInst]*sim.Future[dataplane.DataRef]{}
 	// Remaining consumer counts per producer instance, for Free.
@@ -194,6 +209,9 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 			n := 0
 			refCount[si] = &n
 			total++
+			if rt != nil {
+				rt.insts[si] = &instTrace{buckets: obs.NewBuckets()}
+			}
 		}
 	}
 	// Count consumers.
@@ -216,6 +234,20 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 			name := fmt.Sprintf("%s/%s.%d", a.WF.Name, si, seq)
 			c.Engine.Go(name, func(p *sim.Proc) {
 				inputs := a.resolveInputs(p, s, r, outs)
+				var it *instTrace
+				if rt != nil {
+					// All input futures have resolved, so every producer's
+					// doneAt is final; the one that resolved last is this
+					// instance's critical predecessor.
+					it = rt.insts[si]
+					it.readyAt = p.Now()
+					for _, in := range inputs {
+						if !it.hasCrit || rt.insts[in.prod].doneAt > rt.insts[it.crit].doneAt {
+							it.crit, it.hasCrit = in.prod, true
+						}
+					}
+					obs.UseBuckets(p, it.buckets)
+				}
 				skipped := rng.Float64() >= s.ProbOrOne()
 
 				lat := s.Model.Latency(c.Class, batch)
@@ -253,8 +285,12 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 				out := dataplane.DataRef{}
 				if !skipped {
 					res := c.resourceAt(loc)
+					qStart := p.Now()
 					res.Acquire(p)
+					obs.Account(p, obs.CatQueue, p.Now()-qStart)
+					wStart := p.Now()
 					a.ensureWarm(p, si, poolIdx, s.Model.WeightsBytes)
+					obs.Account(p, obs.CatSetup, p.Now()-wStart)
 					if ingress.Bytes > 0 {
 						t0 := p.Now()
 						if err := c.Plane.Get(p, ctx, ingress); err != nil {
@@ -279,7 +315,10 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 							xferHost += dt
 						}
 					}
+					cs := tr.BeginOn(obs.ReqTrack(seq), obs.CatCompute, s.Name)
 					p.Sleep(lat)
+					tr.End(cs)
+					obs.Account(p, obs.CatCompute, lat)
 					compute += lat
 					if len(a.WF.Consumers(s)) > 0 {
 						t0 := p.Now()
@@ -306,14 +345,26 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 						c.Plane.Free(in.ref)
 					}
 				}
+				if it != nil {
+					// doneAt must be final before the future resolves: a
+					// consumer woken by Resolve reads it when picking its
+					// critical predecessor.
+					it.doneAt = p.Now()
+					obs.UseBuckets(p, nil)
+				}
 				outs[si].Resolve(out)
 				remaining--
 				if remaining == 0 {
-					a.E2E.Add(p.Now() - start)
+					end := p.Now()
+					a.E2E.Add(end - start)
 					a.XferGPU.Add(xferGPU)
 					a.XferHost.Add(xferHost)
 					a.Compute.Add(compute)
 					a.Completed++
+					tr.End(reqSpan)
+					if rt != nil {
+						a.Breakdown.record(rt, si, seq, end)
+					}
 					done.Fire()
 				}
 			})

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/obs"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/workflow"
+)
+
+// benchArrivals is a fixed 16-request bursty-ish schedule.
+func benchArrivals() []time.Duration {
+	out := make([]time.Duration, 16)
+	for i := range out {
+		out[i] = time.Duration(i) * 125 * time.Millisecond
+	}
+	return out
+}
+
+func benchRunTrace(b *testing.B, traced bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		if traced {
+			obs.Attach(e)
+		}
+		c := New(e, topology.DGXV100(), 1, grouterPlane)
+		app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: -1})
+		app.RunTrace(benchArrivals())
+		if app.Completed != 16 {
+			b.Fatalf("completed %d, want 16", app.Completed)
+		}
+		e.Close()
+	}
+}
+
+// BenchmarkRunTraceDisabled / BenchmarkRunTraceEnabled measure the span
+// tracer's overhead on a full 16-request workflow run; the pair backs the
+// tracing-overhead table in EXPERIMENTS.md.
+func BenchmarkRunTraceDisabled(b *testing.B) { benchRunTrace(b, false) }
+func BenchmarkRunTraceEnabled(b *testing.B)  { benchRunTrace(b, true) }

@@ -22,6 +22,7 @@ import (
 	"grouter/internal/memsim"
 	"grouter/internal/metrics"
 	"grouter/internal/netsim"
+	"grouter/internal/obs"
 	"grouter/internal/pathsel"
 	"grouter/internal/sim"
 	"grouter/internal/store"
@@ -189,6 +190,11 @@ func (pl *Plane) Store(n int) *store.Manager { return pl.stores[n] }
 // Put stores ctx's output. With the unified framework the data stays where
 // it was produced (zero copy); without it a random GPU store receives a copy.
 func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.DataRef, error) {
+	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
+		span := tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "put:"+ctx.Fn)
+		tr.SetAttrInt(span, "bytes", bytes)
+		defer tr.End(span)
+	}
 	pl.stats.Puts++
 	pl.stats.AddControl(1, LocalLookupLatency)
 	pl.nextID++
@@ -201,6 +207,7 @@ func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.
 			return dataplane.DataRef{}, fmt.Errorf("grouter: host put: %w", err)
 		}
 		p.Sleep(memsim.PoolAllocLatency)
+		obs.Account(p, obs.CatSetup, memsim.PoolAllocLatency)
 		pl.recs[id] = &rec{node: node, hostBlk: blk, bytes: bytes, workflow: ctx.Workflow}
 		pl.localTables[node][id] = true
 		return dataplane.DataRef{ID: id, Bytes: bytes}, nil
@@ -247,15 +254,22 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 		return fmt.Errorf("%w: workflow %q cannot read data of %q", ErrAccessDenied, ctx.Workflow, r.workflow)
 	}
 	pl.stats.Gets++
+	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
+		span := tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "get:"+ctx.Fn)
+		tr.SetAttrInt(span, "bytes", ref.Bytes)
+		defer tr.End(span)
+	}
 	// Hierarchical lookup: the node-local table answers when the metadata
 	// has been synchronized; the first remote access pays the global table
 	// and caches locally.
 	if pl.localTables[ctx.Loc.Node][ref.ID] {
 		pl.stats.AddControl(1, LocalLookupLatency)
 		p.Sleep(LocalLookupLatency)
+		obs.Account(p, obs.CatSetup, LocalLookupLatency)
 	} else {
 		pl.stats.AddControl(1, GlobalLookupLatency)
 		p.Sleep(GlobalLookupLatency)
+		obs.Account(p, obs.CatSetup, GlobalLookupLatency)
 		pl.localTables[ctx.Loc.Node][ref.ID] = true
 	}
 
@@ -270,6 +284,7 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 	}
 	if src == ctx.Loc {
 		p.Sleep(MapLatency) // zero-copy IPC mapping
+		obs.Account(p, obs.CatSetup, MapLatency)
 		return nil
 	}
 	return pl.move(p, ctx, src, ctx.Loc, r.bytes, fmt.Sprintf("get:%s", ctx.Fn))
@@ -285,7 +300,13 @@ func (pl *Plane) rematerialize(p *sim.Proc, r *rec) error {
 	if err != nil {
 		return fmt.Errorf("grouter: rematerialize %d bytes: %w", r.bytes, err)
 	}
+	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
+		span := tr.Begin(obs.CatMigrate, "rematerialize")
+		tr.SetAttrInt(span, "bytes", r.bytes)
+		defer tr.End(span)
+	}
 	p.Sleep(RematerializeLatency)
+	obs.Account(p, obs.CatMigrate, RematerializeLatency)
 	r.hostBlk = blk
 	r.lost = false
 	metrics.Faults().Rematerialized.Add(1)
@@ -310,6 +331,11 @@ func (pl *Plane) CrashGPU(node, gpu int) int {
 		pl.stores[node].Drop(r.it)
 		r.it = nil
 		r.lost = true
+	}
+	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
+		ev := tr.InstantOn(obs.TrackStoreBase+int32(node), obs.CatStore, "gpu-crash")
+		tr.SetAttrInt(ev, "gpu", int64(gpu))
+		tr.SetAttrInt(ev, "objects-lost", int64(len(ids)))
 	}
 	return len(ids)
 }
@@ -374,7 +400,11 @@ func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Locatio
 	}
 	pl.stats.Copies++
 	pl.stats.BytesMoved += bytes
-	req := xfer.Request{Label: label, Bytes: bytes, Opt: pl.rateOpts(ctx, bytes)}
+	var track int32
+	if ctx != nil {
+		track = obs.ReqTrack(ctx.ConsumerSeq)
+	}
+	req := xfer.Request{Label: label, Bytes: bytes, Opt: pl.rateOpts(ctx, bytes), Track: track}
 	transfer := func(gen func() []xfer.Path) error {
 		req.Paths = gen()
 		req.Replan = func(int) []xfer.Path { return gen() }
@@ -404,6 +434,7 @@ func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Locatio
 				return paths
 			}
 			p.Sleep(pathsel.SelectLatency)
+			obs.Account(p, obs.CatSetup, pathsel.SelectLatency)
 			pl.stats.AddControl(1, pathsel.SelectLatency)
 			err := transfer(plan)
 			sel.Release(a)

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanStatsSumMatchesE2E(t *testing.T) {
+	bd := SpanStats()
+	if len(bd.Requests) == 0 {
+		t.Fatal("no requests recorded")
+	}
+	for _, rb := range bd.Requests {
+		diff := rb.E2E() - rb.Sum()
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Errorf("seq %d: bucket sum %v != e2e %v", rb.Seq, rb.Sum(), rb.E2E())
+		}
+	}
+}
+
+func TestSpanStatsTableShape(t *testing.T) {
+	tbl := SpanStatsTable()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tbl.Columns))
+		}
+	}
+}

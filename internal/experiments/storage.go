@@ -28,6 +28,7 @@ func Fig7aMemoryTimeline() *Table {
 	})
 	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
 	app.RunTrace(burstyTrace(10, 30*time.Second, 77))
+	end := e.Now() // run horizon: the last sample holds until here
 	e.Close()
 
 	st := plane.Store(0)
@@ -40,8 +41,8 @@ func Fig7aMemoryTimeline() *Table {
 		[]string{"requests completed", fmt.Sprint(app.Completed)},
 		[]string{"peak storage used (MiB)", mib(int64(st.UsedTL.Peak()))},
 		[]string{"peak storage reserved (MiB)", mib(int64(st.ReservedTL.Peak()))},
-		[]string{"mean storage used (MiB)", mib(int64(st.UsedTL.Mean()))},
-		[]string{"mean storage reserved (MiB)", mib(int64(st.ReservedTL.Mean()))},
+		[]string{"mean storage used (MiB)", mib(int64(st.UsedTL.MeanUntil(end)))},
+		[]string{"mean storage reserved (MiB)", mib(int64(st.ReservedTL.MeanUntil(end)))},
 		[]string{"timeline samples", fmt.Sprint(st.UsedTL.Len())},
 	)
 	t.Notes = append(t.Notes,

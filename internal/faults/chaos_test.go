@@ -237,6 +237,59 @@ func TestChaosMemoryPressureDuringStorage(t *testing.T) {
 	}
 }
 
+// TestChaosEvictionStorm squeezes GPU0 until barely two objects fit, then
+// streams Puts at it so the store must pick an eviction victim on every
+// subsequent Put. The storm must not lose data — the oldest (evicted) objects
+// stay readable from host — and the whole episode, including the store's
+// eviction/restore/spill counters, must replay byte-identically.
+func TestChaosEvictionStorm(t *testing.T) {
+	const storms = 12
+	scenario := func(env *chaosEnv) {
+		dev := env.f.Mem(fabric.Location{Node: 0, GPU: 0})
+		// Leave ~640MB free before any Put: two 256MB objects fit, the third
+		// forces an eviction, and every later Put keeps the pressure on.
+		env.in.MemPressureFor(0, 0, dev, dev.Free()-640*mb)
+		env.e.Go("storm", func(p *sim.Proc) {
+			var refs []dataplane.DataRef
+			for i := 0; i < storms; i++ {
+				ref, err := env.pl.Put(p, gpuFn("producer", 0), 256*mb)
+				if err != nil {
+					env.logf(p.Now(), "put %d failed: %v", i, err)
+					return
+				}
+				env.logf(p.Now(), "put %d done", i)
+				refs = append(refs, ref)
+			}
+			// The oldest objects were evicted to host; they must still be
+			// readable (restore / host-path transfer), not lost.
+			for i := 0; i < 4; i++ {
+				if err := env.pl.Get(p, gpuFn("consumer", 3), refs[i]); err != nil {
+					env.logf(p.Now(), "get %d failed: %v", i, err)
+					return
+				}
+				env.logf(p.Now(), "object %d survived the storm", i)
+			}
+			st := env.pl.Store(0)
+			env.logf(p.Now(), "store: evictions=%d restores=%d spills=%d",
+				st.Evictions.N, st.Restores.N, st.Spills.N)
+		})
+	}
+	log, stats := requireDeterministic(t, scenario)
+	for i := 0; i < storms; i++ {
+		if !strings.Contains(log, fmt.Sprintf("put %d done", i)) {
+			t.Fatalf("put %d did not complete:\n%s\nfaults: %s", i, log, stats)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(log, fmt.Sprintf("object %d survived", i)) {
+			t.Fatalf("object %d lost in the eviction storm:\n%s\nfaults: %s", i, log, stats)
+		}
+	}
+	if !strings.Contains(log, "evictions=") || strings.Contains(log, "evictions=0 ") {
+		t.Fatalf("storm forced no evictions:\n%s", log)
+	}
+}
+
 // TestChaosCrashRematerialize crashes GPU0 after an object is stored there:
 // the object is lost, and the next Get must re-materialize it from its
 // durable origin (paying RematerializeLatency + a host→GPU move) instead of

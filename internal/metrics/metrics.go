@@ -72,10 +72,11 @@ func (l *Latency) Samples() []time.Duration {
 }
 
 // FractionUnder returns the fraction of samples at or below the bound
-// (SLO-compliance rate).
+// (SLO-compliance rate). An empty recorder is vacuously compliant: with no
+// requests recorded, none violated the bound, so the fraction is 1.
 func (l *Latency) FractionUnder(bound time.Duration) float64 {
 	if len(l.samples) == 0 {
-		return 0
+		return 1
 	}
 	n := 0
 	for _, s := range l.samples {
@@ -104,10 +105,15 @@ func (t *Timeline) Add(at time.Duration, v float64) {
 // Len returns the sample count.
 func (t *Timeline) Len() int { return len(t.Times) }
 
-// Peak returns the maximum value, or 0 when empty.
+// Peak returns the maximum value, or 0 when empty. The max is seeded from
+// the first sample, not from zero, so all-negative signals report their true
+// (negative) peak.
 func (t *Timeline) Peak() float64 {
-	max := 0.0
-	for _, v := range t.Values {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	max := t.Values[0]
+	for _, v := range t.Values[1:] {
 		if v > max {
 			max = v
 		}
@@ -115,23 +121,42 @@ func (t *Timeline) Peak() float64 {
 	return max
 }
 
-// Mean returns the time-weighted mean value over the sampled span (each
-// sample holds until the next), or 0 when fewer than two samples exist.
+// Mean returns the time-weighted mean value up to the last sample time; the
+// final sample gets zero weight. For signals sampled on change (where the
+// last value holds until the end of the run), prefer MeanUntil with the run
+// horizon so the tail is weighted.
 func (t *Timeline) Mean() float64 {
-	if len(t.Times) < 2 {
-		if len(t.Values) == 1 {
-			return t.Values[0]
-		}
+	if len(t.Times) == 0 {
 		return 0
 	}
+	return t.MeanUntil(t.Times[len(t.Times)-1])
+}
+
+// MeanUntil returns the time-weighted mean value over [first sample time,
+// horizon]: each sample holds until the next, and the final sample holds
+// until the horizon. A horizon at or before the last sample time degenerates
+// to Mean. When the weighted span is zero (single sample, or every sample at
+// one instant) the last value is returned; an empty timeline returns 0.
+func (t *Timeline) MeanUntil(horizon time.Duration) float64 {
+	n := len(t.Times)
+	if n == 0 {
+		return 0
+	}
+	if horizon < t.Times[n-1] {
+		horizon = t.Times[n-1]
+	}
 	var area, span float64
-	for i := 0; i+1 < len(t.Times); i++ {
-		dt := (t.Times[i+1] - t.Times[i]).Seconds()
+	for i := 0; i < n; i++ {
+		end := horizon
+		if i+1 < n {
+			end = t.Times[i+1]
+		}
+		dt := (end - t.Times[i]).Seconds()
 		area += t.Values[i] * dt
 		span += dt
 	}
 	if span == 0 {
-		return t.Values[0]
+		return t.Values[n-1]
 	}
 	return area / span
 }

@@ -99,6 +99,72 @@ func TestTimelinePeakAndMean(t *testing.T) {
 	}
 }
 
+// TestFractionUnderEmptyVacuous is the regression test for empty-recorder
+// SLO compliance: no recorded requests means no violations, so compliance is
+// vacuously 1.0, not 0.0.
+func TestFractionUnderEmptyVacuous(t *testing.T) {
+	var l Latency
+	if got := l.FractionUnder(time.Second); got != 1.0 {
+		t.Errorf("empty FractionUnder = %f, want 1.0 (vacuous compliance)", got)
+	}
+}
+
+// TestTimelinePeakAllNegative is the regression test for the zero-seeded max:
+// an all-negative signal must report its true (negative) peak, not 0.
+func TestTimelinePeakAllNegative(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, -7)
+	tl.Add(time.Second, -3)
+	tl.Add(2*time.Second, -12)
+	if got := tl.Peak(); got != -3 {
+		t.Errorf("Peak = %f, want -3", got)
+	}
+}
+
+// TestTimelineMeanUntil covers the horizon-weighted mean on 1-, 2-, and
+// n-sample timelines, including the regression case where the final sample
+// previously got zero weight.
+func TestTimelineMeanUntil(t *testing.T) {
+	approx := func(t *testing.T, got, want float64) {
+		t.Helper()
+		if got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("got %f, want %f", got, want)
+		}
+	}
+	t.Run("one-sample", func(t *testing.T) {
+		var tl Timeline
+		tl.Add(time.Second, 4)
+		// Single sample holds from 1s to the horizon.
+		approx(t, tl.MeanUntil(5*time.Second), 4)
+		// Horizon at the sample itself: zero span, value returned.
+		approx(t, tl.MeanUntil(time.Second), 4)
+	})
+	t.Run("two-samples", func(t *testing.T) {
+		var tl Timeline
+		tl.Add(0, 10)
+		tl.Add(time.Second, 30)
+		// 10 for 1s, then 30 for 3s → (10 + 90) / 4.
+		approx(t, tl.MeanUntil(4*time.Second), 25)
+		// Mean() stops at the last sample: tail gets zero weight.
+		approx(t, tl.Mean(), 10)
+	})
+	t.Run("n-samples", func(t *testing.T) {
+		var tl Timeline
+		tl.Add(0, 10)
+		tl.Add(time.Second, 30)
+		tl.Add(3*time.Second, 0)
+		// Same series as TestTimelinePeakAndMean but the final 0 now holds
+		// for 2s: (10 + 60 + 0) / 5.
+		approx(t, tl.MeanUntil(5*time.Second), 14)
+		// A horizon before the last sample clamps to it (never truncates).
+		approx(t, tl.MeanUntil(time.Second), 70.0/3)
+	})
+	t.Run("empty", func(t *testing.T) {
+		var tl Timeline
+		approx(t, tl.MeanUntil(time.Second), 0)
+	})
+}
+
 func TestTimelineRejectsTimeTravel(t *testing.T) {
 	var tl Timeline
 	tl.Add(time.Second, 1)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"grouter/internal/metrics"
+	"grouter/internal/obs"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
 )
@@ -117,6 +118,10 @@ type Flow struct {
 	dirty    bool  // queued in net.dirtyFlows
 	finishAt time.Duration
 	heapIdx  int // position in net.completions, -1 when absent
+
+	// Tracing (zero when the engine has no tracer attached).
+	span     obs.SpanID
+	prevRate float64 // rate before the current recompute, for re-rate instants
 }
 
 // Options constrain a flow's rate allocation.
@@ -227,6 +232,10 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 			// the done signal and retry or re-plan.
 			f.failed = true
 			metrics.Faults().FlowsKilled.Add(1)
+			if tr := obs.TracerOf(n.engine); tr != nil {
+				id := tr.InstantOn(obs.FlowTrack(f.seq), obs.CatFlow, label)
+				tr.SetAttrStr(id, "outcome", "dead-path")
+			}
 			n.engine.Schedule(0, f.done.Fire)
 			return f
 		}
@@ -238,6 +247,10 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 	}
 	n.insertFlow(f)
 	n.markDirty(f)
+	if tr := obs.TracerOf(n.engine); tr != nil {
+		f.span = tr.BeginOn(obs.FlowTrack(f.seq), obs.CatFlow, label)
+		tr.SetAttrInt(f.span, "bytes", int64(bytes))
+	}
 	n.requestEvent(n.engine.Now())
 	return f
 }
@@ -322,6 +335,7 @@ func (n *Network) Cancel(f *Flow) {
 	// their lazily-advanced progress is unaffected.
 	n.removeFlow(f)
 	f.rate = 0
+	n.endFlowSpan(f, "canceled")
 	for _, li := range f.pathIdx {
 		n.dirtyLinks = append(n.dirtyLinks, int(li))
 	}
@@ -437,11 +451,27 @@ func (n *Network) failFlow(f *Flow, now time.Duration) {
 	}
 	if f.remaining <= finishEpsilon {
 		f.remaining = 0
+		n.endFlowSpan(f, "completed")
 	} else {
 		f.failed = true
 		metrics.Faults().FlowsKilled.Add(1)
+		n.endFlowSpan(f, "failed")
 	}
 	f.done.Fire()
+}
+
+// endFlowSpan closes a flow's trace span with its delivered byte count and
+// terminal outcome. No-op when tracing is disabled or the flow never opened
+// a span.
+func (n *Network) endFlowSpan(f *Flow, outcome string) {
+	if f.span == 0 {
+		return
+	}
+	if tr := obs.TracerOf(n.engine); tr != nil {
+		tr.SetAttrInt(f.span, "transferred", int64(f.total-f.remaining))
+		tr.SetAttrStr(f.span, "outcome", outcome)
+		tr.End(f.span)
+	}
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -557,6 +587,7 @@ func (n *Network) recomputeComponents(now time.Duration) {
 		f.remaining = 0
 		n.removeFlow(f)
 		f.rate = 0
+		n.endFlowSpan(f, "completed")
 		f.done.Fire()
 	}
 
@@ -573,7 +604,25 @@ func (n *Network) recomputeComponents(now time.Duration) {
 	n.stats.ObserveRecompute(components, len(n.compSorted))
 	global.ObserveRecompute(components, len(n.compSorted))
 
+	tr := obs.TracerOf(n.engine)
+	if tr != nil {
+		for _, f := range n.compSorted {
+			f.prevRate = f.rate
+		}
+	}
+
 	n.allocateComponent()
+
+	if tr != nil {
+		// Sampled rates: one instant per flow whose allocation changed.
+		for _, f := range n.compSorted {
+			if f.rate != f.prevRate {
+				id := tr.InstantOn(obs.FlowTrack(f.seq), obs.CatFlow, "rerate")
+				tr.SetAttrInt(id, "bps", int64(f.rate))
+			}
+		}
+		tr.Counter("flows-active", float64(len(n.order)))
+	}
 
 	// Refresh completion projections for every touched flow.
 	for _, f := range n.compSorted {

@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"grouter/internal/obs"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// TestTracedFlowLifecycles drives every flow outcome with a tracer attached
+// and checks each lands in the export: completion, cancellation, mid-flight
+// failure, dead-path rejection, plus re-rate instants and the active-flow
+// counter.
+func TestTracedFlowLifecycles(t *testing.T) {
+	e := sim.NewEngine()
+	tr := obs.Attach(e)
+	n := testNet(e, map[topology.LinkID]float64{"l1": 100, "l2": 100})
+	e.Go("driver", func(p *sim.Proc) {
+		a := n.Start("flow-a", []topology.LinkID{"l1"}, 1000, Options{})
+		p.Sleep(2 * time.Second)
+		// Contends with a on l1: both get re-rated.
+		b := n.Start("flow-b", []topology.LinkID{"l1"}, 500, Options{})
+		a.Done().Wait(p)
+		b.Done().Wait(p)
+
+		c := n.Start("flow-c", []topology.LinkID{"l2"}, 800, Options{})
+		p.Sleep(time.Second)
+		n.Cancel(c)
+
+		d := n.Start("flow-d", []topology.LinkID{"l2"}, 800, Options{})
+		p.Sleep(time.Second)
+		n.FailLink("l2") // kills d mid-flight
+		d.Done().Wait(p)
+
+		// l2 is still down: a new flow over it dies at birth.
+		n.Start("flow-dead", []topology.LinkID{"l2"}, 100, Options{})
+	})
+	run(t, e)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"outcome":"completed"`,
+		`"outcome":"canceled"`,
+		`"outcome":"failed"`,
+		`"outcome":"dead-path"`,
+		`"name":"rerate"`,
+		`"name":"flows-active"`,
+		`"transferred"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"time"
+
+	"grouter/internal/sim"
+)
+
+// catNone marks an inactive category override.
+const catNone Category = 0xFF
+
+// Buckets accumulates a request's latency attribution across the
+// NumBuckets categories. One Buckets is attached to each stage-instance
+// process via UseBuckets; data-plane layers charge time to it with Account
+// as the process sleeps through setup, queueing, transfers, retries, and
+// migrations. The critical-path breakdown then sums buckets along the chain
+// of stage instances that determined the request's end-to-end latency.
+type Buckets struct {
+	D [NumBuckets]time.Duration
+	// override, when set, redirects every Account call to a single bucket.
+	// Storage migration uses it so the transfer machinery nested inside an
+	// eviction or restore lands in CatMigrate rather than double-reporting
+	// as setup/queue/transfer.
+	override Category
+}
+
+// NewBuckets returns an empty accumulator with no override active.
+func NewBuckets() *Buckets { return &Buckets{override: catNone} }
+
+// Total returns the sum over all buckets.
+func (b *Buckets) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range b.D {
+		sum += d
+	}
+	return sum
+}
+
+// UseBuckets attaches b to the process's accounting slot; pass nil to
+// detach.
+func UseBuckets(p *sim.Proc, b *Buckets) {
+	if b == nil {
+		p.Acct = nil
+		return
+	}
+	p.Acct = b
+}
+
+// Account charges d of virtual time to the process's bucket for cat. It is
+// the hot-path entry point: with no accumulator attached (p.Acct == nil) it
+// is a nil check and returns without allocating. Non-positive durations and
+// non-bucket categories charge nothing and CatOther respectively.
+func Account(p *sim.Proc, cat Category, d time.Duration) {
+	if p == nil || p.Acct == nil || d <= 0 {
+		return
+	}
+	b, ok := p.Acct.(*Buckets)
+	if !ok {
+		return
+	}
+	if b.override != catNone {
+		cat = b.override
+	}
+	if cat >= NumBuckets {
+		cat = CatOther
+	}
+	b.D[cat] += d
+}
+
+// PushOverride redirects subsequent Account calls on the process to cat and
+// returns the previous override for PopOverride. With no accumulator
+// attached it is a no-op returning catNone.
+func PushOverride(p *sim.Proc, cat Category) Category {
+	if p == nil || p.Acct == nil {
+		return catNone
+	}
+	b, ok := p.Acct.(*Buckets)
+	if !ok {
+		return catNone
+	}
+	prev := b.override
+	b.override = cat
+	return prev
+}
+
+// PopOverride restores the override returned by the matching PushOverride.
+func PopOverride(p *sim.Proc, prev Category) {
+	if p == nil || p.Acct == nil {
+		return
+	}
+	if b, ok := p.Acct.(*Buckets); ok {
+		b.override = prev
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Export writes the recorded events as Chrome trace-event JSON (the
+// "JSON Array Format" with a traceEvents wrapper), loadable in Perfetto and
+// chrome://tracing.
+//
+// Determinism: events are emitted in (virtual start time, engine sequence)
+// order with fixed-precision timestamps, attribute order is append order,
+// and no wall-clock or map-iteration state leaks into the output, so two
+// runs of the same simulation produce byte-identical files. Spans still open
+// at export time are emitted as running until the engine's current time.
+// Exporting a nil tracer writes a valid empty trace.
+func (t *Tracer) Export(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	if t != nil {
+		// Events are appended in nondecreasing virtual time (the engine
+		// clock is monotone) with strictly increasing seq; the stable sort
+		// is a guard, not a reordering, and is itself deterministic.
+		order := make([]int, len(t.events))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ea, eb := &t.events[order[a]], &t.events[order[b]]
+			if ea.start != eb.start {
+				return ea.start < eb.start
+			}
+			return ea.seq < eb.seq
+		})
+		attrsByEvent := make(map[SpanID][]int, len(t.attrs))
+		for i, a := range t.attrs {
+			attrsByEvent[a.event] = append(attrsByEvent[a.event], i)
+		}
+		now := t.e.Now()
+		for n, idx := range order {
+			if n > 0 {
+				bw.WriteByte(',')
+			}
+			t.writeEvent(bw, idx, attrsByEvent[SpanID(idx+1)], now)
+		}
+	}
+	bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+func (t *Tracer) writeEvent(bw *bufio.Writer, idx int, attrIdx []int, now time.Duration) {
+	ev := &t.events[idx]
+	bw.WriteString("\n{\"name\":")
+	writeJSONString(bw, ev.name)
+	bw.WriteString(",\"cat\":")
+	writeJSONString(bw, ev.cat.String())
+	switch ev.kind {
+	case kindSpan:
+		end := ev.end
+		if ev.open {
+			end = now
+		}
+		if end < ev.start {
+			end = ev.start
+		}
+		bw.WriteString(",\"ph\":\"X\",\"ts\":")
+		writeMicros(bw, ev.start)
+		bw.WriteString(",\"dur\":")
+		writeMicros(bw, end-ev.start)
+	case kindInstant:
+		bw.WriteString(",\"ph\":\"i\",\"s\":\"t\",\"ts\":")
+		writeMicros(bw, ev.start)
+	case kindCounter:
+		bw.WriteString(",\"ph\":\"C\",\"ts\":")
+		writeMicros(bw, ev.start)
+	}
+	bw.WriteString(",\"pid\":0,\"tid\":")
+	bw.WriteString(strconv.FormatInt(int64(ev.track), 10))
+	if ev.kind == kindCounter {
+		bw.WriteString(",\"args\":{\"value\":")
+		bw.WriteString(strconv.FormatFloat(ev.val, 'g', -1, 64))
+		bw.WriteString("}}")
+		return
+	}
+	if len(attrIdx) > 0 {
+		bw.WriteString(",\"args\":{")
+		for i, ai := range attrIdx {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			a := &t.attrs[ai]
+			writeJSONString(bw, a.key)
+			bw.WriteByte(':')
+			if a.isStr {
+				writeJSONString(bw, a.str)
+			} else {
+				bw.WriteString(strconv.FormatInt(a.num, 10))
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders a virtual duration as microseconds with fixed
+// millisecond-of-a-microsecond precision; nanosecond-granular sim times are
+// exact in this representation.
+func writeMicros(bw *bufio.Writer, d time.Duration) {
+	bw.WriteString(strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64))
+}
+
+// writeJSONString writes s as a JSON string literal, escaping the minimal
+// set required for validity (quotes, backslash, control characters).
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			bw.WriteString("\\u00")
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

@@ -1,0 +1,268 @@
+// Package obs is a deterministic span tracer for the simulator's data plane.
+//
+// Unlike internal/trace, which loads arrival workloads, obs records what the
+// simulator did: spans (start, end, name, category, attrs), instants, and
+// counters, all stamped with virtual time from the sim engine and a
+// monotonically increasing event sequence. Because virtual time and the
+// sequence are both deterministic functions of the simulation inputs, two
+// runs of the same configuration produce byte-identical exports.
+//
+// A tracer is attached to an engine with Attach and recovered anywhere the
+// engine is reachable with TracerOf. Every method is safe on a nil *Tracer
+// and takes a fixed number of arguments, so the disabled path — the common
+// case — is a nil check with zero allocations. Call sites that must build
+// attributes or names guard the work with `if tr != nil`.
+package obs
+
+import (
+	"time"
+
+	"grouter/internal/sim"
+)
+
+// Category classifies spans and instants. The first NumBuckets categories
+// double as the per-request latency buckets of the critical-path breakdown;
+// the rest exist only to lane trace events.
+type Category uint8
+
+const (
+	// CatSetup is fixed per-hop machinery: path selection, transfer setup,
+	// batching, host-stack traversal, map/allocation latencies.
+	CatSetup Category = iota
+	// CatQueue is time spent waiting for a contended slot: pinned-buffer
+	// gates and instance slots.
+	CatQueue
+	// CatTransfer is time flows spend moving bytes on the fabric.
+	CatTransfer
+	// CatRetry is backoff and replanning after transfer failures.
+	CatRetry
+	// CatMigrate is storage-induced data movement: evictions to host,
+	// restores to GPU, and crash re-materialization.
+	CatMigrate
+	// CatCompute is GPU kernel execution.
+	CatCompute
+	// CatOther absorbs request time not attributed to any bucket above.
+	CatOther
+
+	// NumBuckets bounds the request-latency bucket categories.
+	NumBuckets
+
+	// CatRequest lanes whole-request spans.
+	CatRequest
+	// CatOp lanes data-plane operations (Get/Put lifecycles).
+	CatOp
+	// CatFlow lanes network-flow spans and re-rate instants.
+	CatFlow
+	// CatStore lanes storage events (evict/restore/spill).
+	CatStore
+	// CatPlace lanes scheduler placement decisions.
+	CatPlace
+	// CatCounter marks sampled counter series.
+	CatCounter
+)
+
+var catNames = [...]string{
+	CatSetup: "setup", CatQueue: "queue", CatTransfer: "transfer",
+	CatRetry: "retry", CatMigrate: "migrate", CatCompute: "compute",
+	CatOther: "other", NumBuckets: "invalid", CatRequest: "request",
+	CatOp: "op", CatFlow: "flow", CatStore: "store", CatPlace: "place",
+	CatCounter: "counter",
+}
+
+// String returns the category's lowercase name.
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return "unknown"
+}
+
+// Well-known track (Perfetto thread lane) assignments. Request-scoped spans
+// use the request sequence number as their track so each request gets its own
+// lane; infrastructure events use the fixed lanes below.
+const (
+	// TrackMain is the default lane for events with no natural owner.
+	TrackMain int32 = 0
+	// TrackSched is the scheduler placement lane.
+	TrackSched int32 = 1
+	// TrackStoreBase + node is the storage lane for a node.
+	TrackStoreBase int32 = 100
+	// TrackFlowBase + (flow seq % FlowLanes) lanes network flows.
+	TrackFlowBase int32 = 1000
+	// FlowLanes bounds the number of distinct flow lanes.
+	FlowLanes int32 = 64
+	// TrackReqBase + (request seq % ReqLanes) lanes request-scoped spans.
+	TrackReqBase int32 = 2000
+	// ReqLanes bounds the number of distinct request lanes.
+	ReqLanes int32 = 256
+)
+
+// FlowTrack returns the lane for a network flow sequence number.
+func FlowTrack(seq int64) int32 { return TrackFlowBase + int32(seq%int64(FlowLanes)) }
+
+// ReqTrack returns the lane for a request (or consumer) sequence number.
+func ReqTrack(seq int64) int32 {
+	if seq < 0 {
+		seq = -seq
+	}
+	return TrackReqBase + int32(seq%int64(ReqLanes))
+}
+
+// SpanID identifies a recorded event; the zero SpanID is invalid and every
+// method accepting one treats it (and a nil tracer) as a no-op.
+type SpanID int32
+
+type kind uint8
+
+const (
+	kindSpan kind = iota
+	kindInstant
+	kindCounter
+)
+
+type tevent struct {
+	kind  kind
+	cat   Category
+	open  bool // span begun but not ended
+	track int32
+	name  string
+	start time.Duration
+	end   time.Duration // spans only
+	val   float64       // counters only
+	seq   int64
+}
+
+type attr struct {
+	event SpanID
+	key   string
+	str   string
+	num   int64
+	isStr bool
+}
+
+// Tracer records deterministic trace events against an engine's virtual
+// clock. The zero value is not usable; use Attach. A nil *Tracer is the
+// disabled tracer: every method no-ops without allocating.
+type Tracer struct {
+	e      *sim.Engine
+	seq    int64
+	events []tevent
+	attrs  []attr
+}
+
+// Attach creates a tracer, installs it in the engine's Obs slot, and returns
+// it. Layers holding the engine recover it with TracerOf.
+func Attach(e *sim.Engine) *Tracer {
+	t := &Tracer{e: e}
+	e.Obs = t
+	return t
+}
+
+// TracerOf returns the tracer attached to e, or nil when tracing is
+// disabled. The nil case costs a nil check and a type assertion — no
+// allocation — so hot paths call it unconditionally.
+func TracerOf(e *sim.Engine) *Tracer {
+	if e == nil || e.Obs == nil {
+		return nil
+	}
+	t, _ := e.Obs.(*Tracer)
+	return t
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// BeginOn opens a span on the given track at the current virtual time and
+// returns its ID. On a nil tracer it returns 0 without allocating.
+func (t *Tracer) BeginOn(track int32, cat Category, name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.seq++
+	t.events = append(t.events, tevent{
+		kind: kindSpan, cat: cat, open: true, track: track,
+		name: name, start: t.e.Now(), seq: t.seq,
+	})
+	return SpanID(len(t.events))
+}
+
+// Begin opens a span on the main track.
+func (t *Tracer) Begin(cat Category, name string) SpanID {
+	return t.BeginOn(TrackMain, cat, name)
+}
+
+// End closes a span at the current virtual time. Ending an already-closed or
+// zero span is a no-op.
+func (t *Tracer) End(id SpanID) {
+	if t == nil || id <= 0 || int(id) > len(t.events) {
+		return
+	}
+	ev := &t.events[id-1]
+	if ev.kind != kindSpan || !ev.open {
+		return
+	}
+	ev.open = false
+	ev.end = t.e.Now()
+}
+
+// InstantOn records a point event on the given track and returns its ID so
+// attributes can be attached.
+func (t *Tracer) InstantOn(track int32, cat Category, name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.seq++
+	t.events = append(t.events, tevent{
+		kind: kindInstant, cat: cat, track: track,
+		name: name, start: t.e.Now(), seq: t.seq,
+	})
+	return SpanID(len(t.events))
+}
+
+// Instant records a point event on the main track.
+func (t *Tracer) Instant(cat Category, name string) SpanID {
+	return t.InstantOn(TrackMain, cat, name)
+}
+
+// Counter records a sampled value of a named series (rendered as a counter
+// track in Perfetto).
+func (t *Tracer) Counter(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.seq++
+	t.events = append(t.events, tevent{
+		kind: kindCounter, cat: CatCounter, track: TrackMain,
+		name: name, start: t.e.Now(), val: v, seq: t.seq,
+	})
+}
+
+// SetAttrInt attaches an integer attribute to an event.
+func (t *Tracer) SetAttrInt(id SpanID, key string, v int64) {
+	if t == nil || id <= 0 || int(id) > len(t.events) {
+		return
+	}
+	t.attrs = append(t.attrs, attr{event: id, key: key, num: v})
+}
+
+// SetAttrStr attaches a string attribute to an event.
+func (t *Tracer) SetAttrStr(id SpanID, key, v string) {
+	if t == nil || id <= 0 || int(id) > len(t.events) {
+		return
+	}
+	t.attrs = append(t.attrs, attr{event: id, key: key, str: v, isStr: true})
+}
+
+// Now returns the tracer's engine time (0 on a nil tracer); exported for
+// call sites that want to account durations alongside spans.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.e.Now()
+}

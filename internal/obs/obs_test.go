@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"grouter/internal/sim"
+)
+
+func TestAttachAndTracerOf(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	if TracerOf(e) != nil {
+		t.Fatal("fresh engine should have no tracer")
+	}
+	tr := Attach(e)
+	if TracerOf(e) != tr {
+		t.Fatal("TracerOf did not recover the attached tracer")
+	}
+	if TracerOf(nil) != nil {
+		t.Fatal("TracerOf(nil engine) should be nil")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	tr := Attach(e)
+	var id SpanID
+	e.Go("worker", func(p *sim.Proc) {
+		id = tr.BeginOn(7, CatTransfer, "xfer")
+		tr.SetAttrInt(id, "bytes", 1024)
+		p.Sleep(time.Millisecond)
+		tr.End(id)
+	})
+	e.Run(0)
+	if tr.Len() != 1 {
+		t.Fatalf("event count = %d, want 1", tr.Len())
+	}
+	ev := tr.events[0]
+	if ev.open || ev.start != 0 || ev.end != time.Millisecond {
+		t.Fatalf("span = %+v, want closed [0, 1ms]", ev)
+	}
+	if ev.track != 7 || ev.cat != CatTransfer {
+		t.Fatalf("span lane/cat = %d/%v", ev.track, ev.cat)
+	}
+	tr.End(id) // double End is a no-op
+	if tr.events[0].end != time.Millisecond {
+		t.Fatal("double End changed the span")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	id := tr.BeginOn(1, CatSetup, "x")
+	if id != 0 {
+		t.Fatalf("nil Begin returned %d, want 0", id)
+	}
+	tr.End(id)
+	tr.SetAttrInt(id, "k", 1)
+	tr.SetAttrStr(id, "k", "v")
+	tr.Instant(CatFlow, "i")
+	tr.Counter("c", 1)
+	if tr.Len() != 0 || tr.Now() != 0 {
+		t.Fatal("nil tracer should report empty state")
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the CI allocation guard: the full
+// per-flow-event call sequence the data plane performs — recover the tracer
+// from the engine, open/close a span, record an instant and a counter, and
+// charge bucket accounting — must not allocate when tracing is disabled.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	p := &sim.Proc{} // detached proc: only the Acct slot is exercised
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := TracerOf(e)
+		if tr != nil {
+			t.Fatal("tracer unexpectedly enabled")
+		}
+		id := tr.BeginOn(TrackMain, CatFlow, "flow")
+		tr.SetAttrInt(id, "bytes", 4096)
+		tr.End(id)
+		tr.InstantOn(FlowTrack(3), CatFlow, "rerate")
+		tr.Counter("flows-active", 1)
+		Account(p, CatTransfer, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f per flow event, want 0", allocs)
+	}
+}
+
+func TestBucketsAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	var b *Buckets
+	e.Go("req", func(p *sim.Proc) {
+		b = NewBuckets()
+		UseBuckets(p, b)
+		Account(p, CatSetup, 2*time.Millisecond)
+		Account(p, CatQueue, time.Millisecond)
+		Account(p, CatSetup, time.Millisecond)
+		Account(p, CatQueue, -time.Second)   // non-positive: ignored
+		Account(p, CatRequest, time.Second)  // non-bucket: folds to other
+		prev := PushOverride(p, CatMigrate)  // nested migration machinery
+		Account(p, CatTransfer, time.Second) // lands in migrate
+		PopOverride(p, prev)
+		Account(p, CatTransfer, time.Millisecond)
+		UseBuckets(p, nil)
+		Account(p, CatCompute, time.Hour) // detached: dropped
+	})
+	e.Run(0)
+	want := Buckets{}
+	want.D[CatSetup] = 3 * time.Millisecond
+	want.D[CatQueue] = time.Millisecond
+	want.D[CatOther] = time.Second
+	want.D[CatMigrate] = time.Second
+	want.D[CatTransfer] = time.Millisecond
+	if b.D != want.D {
+		t.Fatalf("buckets = %v, want %v", b.D, want.D)
+	}
+	if b.Total() != 2*time.Second+5*time.Millisecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestOverrideOnDetachedProcIsNoOp(t *testing.T) {
+	p := &sim.Proc{}
+	if prev := PushOverride(p, CatMigrate); prev != catNone {
+		t.Fatalf("PushOverride on detached proc = %v", prev)
+	}
+	PopOverride(p, catNone) // must not panic
+	Account(nil, CatSetup, time.Second)
+}
+
+func TestCategoryNames(t *testing.T) {
+	for c, want := range map[Category]string{
+		CatSetup: "setup", CatQueue: "queue", CatTransfer: "transfer",
+		CatRetry: "retry", CatMigrate: "migrate", CatCompute: "compute",
+		CatOther: "other", CatRequest: "request", CatFlow: "flow",
+		Category(200): "unknown",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Category(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+// chromeTrace mirrors the envelope Perfetto's JSON importer expects.
+type chromeTrace struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	DisplayUnit string           `json:"displayTimeUnit"`
+}
+
+func buildSample(t *testing.T) (*sim.Engine, *Tracer) {
+	t.Helper()
+	e := sim.NewEngine()
+	tr := Attach(e)
+	e.Go("worker", func(p *sim.Proc) {
+		req := tr.BeginOn(2, CatRequest, "req-0")
+		tr.SetAttrStr(req, "workflow", "traffic")
+		s := tr.Begin(CatTransfer, "xfer a->b")
+		tr.SetAttrInt(s, "bytes", 1<<20)
+		p.Sleep(1500 * time.Microsecond)
+		tr.End(s)
+		tr.InstantOn(FlowTrack(0), CatFlow, "rerate")
+		tr.Counter("flows-active", 2)
+		tr.End(req)
+		tr.Begin(CatOp, "open-at-export") // left open deliberately
+	})
+	e.Run(0)
+	return e, tr
+}
+
+func TestExportValidChromeJSON(t *testing.T) {
+	e, tr := buildSample(t)
+	defer e.Close()
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(ct.TraceEvents) != 5 {
+		t.Fatalf("trace has %d events, want 5", len(ct.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+		phases[ev["ph"].(string)]++
+		if ev["ph"] == "X" {
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("complete event has bad dur: %v", ev)
+			}
+		}
+	}
+	if phases["X"] != 3 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("phase histogram = %v, want 3 X / 1 i / 1 C", phases)
+	}
+	// The transfer span slept 1.5ms → dur 1500µs, ts in µs.
+	if !strings.Contains(buf.String(), "\"dur\":1500.000") {
+		t.Errorf("expected 1500.000µs duration in export:\n%s", buf.String())
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	render := func() []byte {
+		e, tr := buildSample(t)
+		defer e.Close()
+		var buf bytes.Buffer
+		if err := tr.Export(&buf); err != nil {
+			t.Fatalf("Export: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed exports differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+func TestExportNilTracerAndEscaping(t *testing.T) {
+	var nilTr *Tracer
+	var buf bytes.Buffer
+	if err := nilTr.Export(&buf); err != nil {
+		t.Fatalf("nil Export: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("nil export invalid: %v", err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Fatal("nil export should be empty")
+	}
+
+	e := sim.NewEngine()
+	defer e.Close()
+	tr := Attach(e)
+	id := tr.Begin(CatOp, "quote\" back\\slash \x01ctl")
+	tr.SetAttrStr(id, "k", "a\"b")
+	tr.End(id)
+	buf.Reset()
+	if err := tr.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("escaped export invalid: %v\n%s", err, buf.Bytes())
+	}
+	if got := out.TraceEvents[0]["name"]; got != "quote\" back\\slash \x01ctl" {
+		t.Fatalf("name round-trip = %q", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"grouter/internal/fabric"
+	"grouter/internal/obs"
 	"grouter/internal/topology"
 	"grouter/internal/workflow"
 )
@@ -56,6 +57,10 @@ type Options struct {
 type Placer struct {
 	cluster *topology.Cluster
 	load    [][]int // [node][gpu] assigned instance count
+	// Trace, when non-nil, records placement decisions as trace events. The
+	// placer has no engine reference of its own, so the owning cluster wires
+	// the tracer in explicitly.
+	Trace *obs.Tracer
 }
 
 // NewPlacer builds a placer over the cluster.
@@ -153,6 +158,24 @@ func (p *Placer) Place(wf *workflow.Workflow, opt Options) Placement {
 	default:
 		p.placeMAPA(wf, gpuInsts, instNode, out)
 	}
+	if p.Trace != nil {
+		// Walk the stage list (not the placement map) so the emitted
+		// decision order is deterministic.
+		span := p.Trace.BeginOn(obs.TrackSched, obs.CatPlace, "place:"+wf.Name)
+		for _, s := range wf.Stages {
+			for r := 0; r < s.ReplicaCount(); r++ {
+				si := StageInst{Stage: s.Name, Replica: r}
+				loc, ok := out[si]
+				if !ok {
+					continue
+				}
+				ev := p.Trace.InstantOn(obs.TrackSched, obs.CatPlace, si.String())
+				p.Trace.SetAttrInt(ev, "node", int64(loc.Node))
+				p.Trace.SetAttrInt(ev, "gpu", int64(loc.GPU))
+			}
+		}
+		p.Trace.End(span)
+	}
 	return out
 }
 
@@ -161,6 +184,11 @@ func (p *Placer) Place(wf *workflow.Workflow, opt Options) Placement {
 func (p *Placer) PlaceSingle(n int) fabric.Location {
 	g := p.leastLoadedGPU(n, nil)
 	p.load[n][g]++
+	if p.Trace != nil {
+		ev := p.Trace.InstantOn(obs.TrackSched, obs.CatPlace, "scale-up")
+		p.Trace.SetAttrInt(ev, "node", int64(n))
+		p.Trace.SetAttrInt(ev, "gpu", int64(g))
+	}
 	return fabric.Location{Node: n, GPU: g}
 }
 

@@ -35,6 +35,11 @@ type Engine struct {
 
 	// nonDaemon counts queued non-daemon events; Run(0) stops at zero.
 	nonDaemon int
+
+	// Obs is an opaque observability slot. Higher layers (internal/obs)
+	// attach a tracer here without the engine depending on them; a nil slot
+	// means tracing is disabled and costs only a nil check at call sites.
+	Obs any
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -109,8 +114,17 @@ func (e *Engine) ScheduleWake(p *Proc) {
 
 // Run executes events until only daemon events remain, the heap is empty, or
 // the clock would pass until. A zero until runs to completion of all
-// non-daemon activity. It returns the final virtual time.
+// non-daemon activity and returns at the time of the last executed event.
+//
+// The clock is monotone: Run never rewinds it. Calling Run with a positive
+// until at or before the current time executes nothing and returns the
+// current time unchanged. With until beyond the current time, Run returns
+// with the clock at exactly until — including when the event heap drains
+// before the horizon (virtual time still passes in an idle simulation).
 func (e *Engine) Run(until time.Duration) time.Duration {
+	if until > 0 && until <= e.now {
+		return e.now
+	}
 	for e.events.Len() > 0 {
 		if until == 0 && e.nonDaemon == 0 {
 			return e.now
@@ -128,6 +142,9 @@ func (e *Engine) Run(until time.Duration) time.Duration {
 			e.now = next.at
 		}
 		next.fn()
+	}
+	if until > e.now {
+		e.now = until
 	}
 	return e.now
 }
@@ -155,6 +172,10 @@ type Proc struct {
 	// Daemon marks a background-maintenance process whose timer events do
 	// not keep Run(0) alive.
 	Daemon bool
+	// Acct is an opaque per-process accounting slot. Higher layers
+	// (internal/obs) attach latency-bucket accumulators here; a nil slot
+	// means accounting is disabled and costs only a nil check at call sites.
+	Acct   any
 	engine *Engine
 	resume chan struct{}
 }

@@ -46,6 +46,48 @@ func TestRunUntilStopsClock(t *testing.T) {
 	}
 }
 
+// TestRunNeverRewindsClock is the regression test for the clock-rewind bug:
+// Run(10s) followed by Run(5s) used to set the clock back to 5s, breaking
+// monotonicity for every timeline sampled afterwards.
+func TestRunNeverRewindsClock(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.Schedule(20*time.Second, func() {})
+	if now := e.Run(10 * time.Second); now != 10*time.Second {
+		t.Fatalf("clock = %v, want 10s", now)
+	}
+	if now := e.Run(5 * time.Second); now != 10*time.Second {
+		t.Fatalf("Run(5s) after Run(10s) returned %v, want 10s (no rewind)", now)
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock rewound to %v", e.Now())
+	}
+	// An exactly-equal horizon is also a no-op.
+	if now := e.Run(10 * time.Second); now != 10*time.Second {
+		t.Fatalf("Run(now) returned %v, want 10s", now)
+	}
+}
+
+// TestRunDrainedHeapAdvancesToHorizon pins the drained-heap contract: when
+// every event fires before the horizon, Run(until) still returns with the
+// clock at exactly until — virtual time passes in an idle simulation.
+func TestRunDrainedHeapAdvancesToHorizon(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	fired := time.Duration(-1)
+	e.Schedule(time.Second, func() { fired = e.Now() })
+	if now := e.Run(30 * time.Second); now != 30*time.Second {
+		t.Fatalf("clock = %v, want 30s after heap drained", now)
+	}
+	if fired != time.Second {
+		t.Fatalf("event fired at %v, want 1s", fired)
+	}
+	// Run(0) on an empty heap stays put: completion time is the last event.
+	if now := e.Run(0); now != 30*time.Second {
+		t.Fatalf("Run(0) on empty heap returned %v, want 30s", now)
+	}
+}
+
 func TestNegativeDelayClampedToNow(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()

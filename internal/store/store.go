@@ -24,6 +24,7 @@ import (
 	"grouter/internal/fabric"
 	"grouter/internal/memsim"
 	"grouter/internal/metrics"
+	"grouter/internal/obs"
 	"grouter/internal/sim"
 )
 
@@ -254,8 +255,10 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 		if err == nil {
 			if warm {
 				p.Sleep(memsim.PoolAllocLatency)
+				obs.Account(p, obs.CatSetup, memsim.PoolAllocLatency)
 			} else {
 				p.Sleep(memsim.RawAllocLatency)
+				obs.Account(p, obs.CatSetup, memsim.RawAllocLatency)
 				m.mirrorSymmetric(g, bytes)
 			}
 			m.items[it.ID] = it
@@ -268,7 +271,13 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 	if err != nil {
 		return nil, fmt.Errorf("store: spill of %d bytes: %w", bytes, err)
 	}
+	if tr := obs.TracerOf(m.eng); tr != nil {
+		ev := tr.InstantOn(m.track(), obs.CatStore, "spill")
+		tr.SetAttrInt(ev, "bytes", bytes)
+		tr.SetAttrInt(ev, "gpu", int64(g))
+	}
 	p.Sleep(memsim.PoolAllocLatency)
+	obs.Account(p, obs.CatSetup, memsim.PoolAllocLatency)
 	it.OnHost = true
 	it.hostBlock = blk
 	m.items[it.ID] = it
@@ -276,6 +285,9 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 	m.sample(p.Now())
 	return it, nil
 }
+
+// track returns the manager's storage trace lane.
+func (m *Manager) track() int32 { return obs.TrackStoreBase + int32(m.node.Node.ID) }
 
 // mirrorSymmetric grows all other pools to match a symmetric allocation.
 func (m *Manager) mirrorSymmetric(g int, bytes int64) {
@@ -392,7 +404,9 @@ func (m *Manager) pickVictim(g int) *Item {
 	return best
 }
 
-// evict migrates an item to host memory.
+// evict migrates an item to host memory. The nested transfer's bucket
+// accounting is redirected to CatMigrate so an eviction on a request's
+// critical path reports as migration time, not as setup/queue/transfer.
 func (m *Manager) evict(p *sim.Proc, it *Item) {
 	it.migrating = true
 	blk, err := m.node.Host.Alloc(it.Bytes)
@@ -400,7 +414,22 @@ func (m *Manager) evict(p *sim.Proc, it *Item) {
 		it.migrating = false
 		return
 	}
+	var span obs.SpanID
+	tr := obs.TracerOf(m.eng)
+	if tr != nil {
+		span = tr.BeginOn(m.track(), obs.CatMigrate, "evict")
+		tr.SetAttrInt(span, "bytes", it.Bytes)
+		tr.SetAttrInt(span, "gpu", int64(it.GPU))
+	}
+	prev := obs.PushOverride(p, obs.CatMigrate)
 	migErr := m.mig.ToHost(p, it.GPU, it.Bytes)
+	obs.PopOverride(p, prev)
+	if tr != nil {
+		if migErr != nil {
+			tr.SetAttrStr(span, "error", migErr.Error())
+		}
+		tr.End(span)
+	}
 	if it.freed {
 		// Consumed while migrating; the pool bytes were already released.
 		blk.Free()
@@ -438,10 +467,25 @@ func (m *Manager) Restore(p *sim.Proc, it *Item) bool {
 		it.migrating = false
 		return false
 	}
+	var span obs.SpanID
+	tr := obs.TracerOf(m.eng)
+	if tr != nil {
+		span = tr.BeginOn(m.track(), obs.CatMigrate, "restore")
+		tr.SetAttrInt(span, "bytes", it.Bytes)
+		tr.SetAttrInt(span, "gpu", int64(it.GPU))
+	}
+	prev := obs.PushOverride(p, obs.CatMigrate)
 	if !warm {
 		p.Sleep(memsim.RawAllocLatency)
 	}
 	migErr := m.mig.ToGPU(p, it.GPU, it.Bytes)
+	obs.PopOverride(p, prev)
+	if tr != nil {
+		if migErr != nil {
+			tr.SetAttrStr(span, "error", migErr.Error())
+		}
+		tr.End(span)
+	}
 	if it.freed {
 		pool.Release(it.Bytes)
 		return false
@@ -569,6 +613,10 @@ func (m *Manager) restoreLoop(p *sim.Proc) {
 }
 
 func (m *Manager) sample(now time.Duration) {
+	if tr := obs.TracerOf(m.eng); tr != nil {
+		tr.Counter("store-used", float64(m.TotalUsed()))
+		tr.Counter("store-reserved", float64(m.TotalReserved()))
+	}
 	if n := m.UsedTL.Len(); n > 0 && m.UsedTL.Times[n-1] == now {
 		m.UsedTL.Values[n-1] = float64(m.TotalUsed())
 		m.ReservedTL.Values[n-1] = float64(m.TotalReserved())

@@ -22,6 +22,7 @@ import (
 	"grouter/internal/memsim"
 	"grouter/internal/metrics"
 	"grouter/internal/netsim"
+	"grouter/internal/obs"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
 )
@@ -127,6 +128,10 @@ type Request struct {
 	Label string
 	Bytes int64
 	Paths []Path
+	// Track is the trace lane the transfer's span is recorded on (typically
+	// the request sequence number); 0 is the shared default lane. Ignored
+	// when tracing is disabled.
+	Track int32
 	// Opt carries rate-control constraints applied to every flow of the
 	// transfer (min rates are split across paths proportionally).
 	Opt netsim.Options
@@ -183,19 +188,34 @@ func (m *Manager) Transfer(p *sim.Proc, req Request) (time.Duration, error) {
 	if err := req.validate(); err != nil {
 		return 0, err
 	}
+	tr := obs.TracerOf(m.Fabric.Engine)
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.BeginOn(req.Track, obs.CatTransfer, req.Label)
+		tr.SetAttrInt(span, "bytes", req.Bytes)
+	}
 	setup := SetupLatency + BatchLatency
 	if req.HostStack {
 		setup += HostStackLatency
 	}
 	p.Sleep(setup)
+	obs.Account(p, obs.CatSetup, setup)
 
 	var held int64
 	if req.Pinned != nil {
+		gateStart := p.Now()
 		held = req.Pinned.Acquire(p, req.Bytes)
+		obs.Account(p, obs.CatQueue, p.Now()-gateStart)
 	}
 	elapsed, err := m.transferAttempts(p, req, start)
 	if req.Pinned != nil && held > 0 {
 		req.Pinned.Release(held)
+	}
+	if tr != nil {
+		if err != nil {
+			tr.SetAttrStr(span, "error", err.Error())
+		}
+		tr.End(span)
 	}
 	return elapsed, err
 }
@@ -210,15 +230,25 @@ func (m *Manager) transferAttempts(p *sim.Proc, req Request, start time.Duration
 	pol := req.Retry.withDefaults()
 	paths := req.Paths
 	bytes := req.Bytes
+	tr := obs.TracerOf(m.Fabric.Engine)
 	var err error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			metrics.Faults().Retries.Add(1)
+			if tr != nil {
+				id := tr.InstantOn(req.Track, obs.CatRetry, "retry")
+				tr.SetAttrInt(id, "attempt", int64(attempt))
+				tr.SetAttrInt(id, "bytes-left", bytes)
+			}
 			p.Sleep(pol.backoff(attempt))
+			obs.Account(p, obs.CatRetry, pol.backoff(attempt))
 			if req.Replan != nil {
 				if np := req.Replan(attempt); len(np) > 0 {
 					paths = np
 					metrics.Faults().Replans.Add(1)
+					if tr != nil {
+						tr.InstantOn(req.Track, obs.CatRetry, "replan")
+					}
 				}
 			}
 		}
@@ -234,7 +264,10 @@ func (m *Manager) transferAttempts(p *sim.Proc, req Request, start time.Duration
 			continue
 		}
 		flows := m.startFlows(req.Label, bytes, alive, req.Opt, req.Bytes)
-		if m.awaitFlows(p, flows, deadline) {
+		waitStart := p.Now()
+		timedOut := m.awaitFlows(p, flows, deadline)
+		obs.Account(p, obs.CatTransfer, p.Now()-waitStart)
+		if timedOut {
 			metrics.Faults().TransfersFailed.Add(1)
 			return p.Now() - start, ErrDeadline
 		}
