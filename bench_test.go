@@ -231,7 +231,7 @@ func BenchmarkNetsimScaleComponents(b *testing.B) {
 func BenchmarkDataPassing(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s := MustNewSim("dgx-v100", 1)
+		s := MustNewSim("dgx-v100")
 		pl := s.NewGRouter(FullConfig())
 		s.Go("pass", func(p *Proc) {
 			up := &FnCtx{Fn: "up", Loc: Location{Node: 0, GPU: 0}}

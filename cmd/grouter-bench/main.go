@@ -28,11 +28,15 @@ func main() {
 	allocStats := flag.Bool("allocstats", false, "print netsim allocator work counters after the runs")
 	faultStats := flag.Bool("faultstats", false, "print fault-injection and recovery counters after the runs")
 	spanStats := flag.Bool("span-stats", false, "print a per-request critical-path latency breakdown and exit")
+	fanout := flag.Bool("fanout", false, "run the fan-out coalescing experiment (shorthand for -run ext-fanout)")
 	flag.Parse()
 
 	if *spanStats {
 		fmt.Println(experiments.SpanStatsTable().Format())
 		return
+	}
+	if *fanout {
+		*run = "ext-fanout"
 	}
 
 	if *list {

@@ -1,0 +1,26 @@
+package grouter
+
+import (
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/xfer"
+)
+
+// Typed error sentinels. Every Plane method that fails wraps one of these,
+// so callers branch with errors.Is instead of matching message strings:
+//
+//	if err := plane.Get(p, ctx, ref); errors.Is(err, grouter.ErrGPUDown) {
+//	    // the object's GPU crashed and recovery failed — re-run the producer
+//	}
+var (
+	// ErrNotFound: Get of a data ID that was never Put or was already freed.
+	ErrNotFound = dataplane.ErrNotFound
+	// ErrEvicted: Put could not make room, even by spilling to host memory.
+	ErrEvicted = dataplane.ErrEvicted
+	// ErrGPUDown: a crash-lost object could not be re-materialized.
+	ErrGPUDown = dataplane.ErrGPUDown
+	// ErrDeadline: a transfer exhausted its SLO budget (xfer deadline).
+	ErrDeadline = xfer.ErrDeadline
+	// ErrAccessDenied: a function read data belonging to another workflow.
+	ErrAccessDenied = core.ErrAccessDenied
+)

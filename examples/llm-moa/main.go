@@ -3,58 +3,56 @@
 // agents reuse the previous layer's KV caches instead of recomputing the
 // prompt. The program compares the receiver's time-to-first-token and the
 // full MoA latency across GROUTER, the Mooncake-style KV store, and the
-// host-centric baseline.
+// host-centric baseline. Everything goes through the grouter façade.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"grouter/internal/kvcache"
-	"grouter/internal/models"
-	"grouter/internal/sim"
+	"grouter"
 )
 
 func main() {
-	llm := models.MustLookupLLM("llama-7b")
-	systems := []kvcache.System{kvcache.SysINFless, kvcache.SysMooncake, kvcache.SysGRouter}
+	llm := grouter.MustLookupLLM("llama-7b")
+	systems := []grouter.KVSystem{grouter.SysINFless, grouter.SysMooncake, grouter.SysGRouter}
 
 	fmt.Println("single-hop KV-cache transfer between MoA stages (llama-7b, TP=2)")
 	fmt.Printf("%-10s", "tokens")
-	for _, s := range systems {
-		fmt.Printf("%14s", s)
+	for _, sys := range systems {
+		fmt.Printf("%14s", sys)
 	}
 	fmt.Println(" (TTFT, ms)")
 	for _, tokens := range []int{1024, 4096, 16384} {
 		fmt.Printf("%-10d", tokens)
-		for _, s := range systems {
-			engine := sim.NewEngine()
-			c := kvcache.NewCluster(engine, 2)
+		for _, sys := range systems {
+			s := grouter.MustNewSim("h800x8")
+			c := s.NewKVCluster(2)
 			var ttft time.Duration
-			engine.Go("ttft", func(p *sim.Proc) {
-				ttft = c.TTFT(p, s, llm, tokens, 2, 0, 1)
+			s.Go("ttft", func(p *grouter.Proc) {
+				ttft = c.TTFT(p, sys, llm, tokens, 2, 0, 1)
 			})
-			engine.Run(0)
-			engine.Close()
+			s.Run()
+			s.Close()
 			fmt.Printf("%14.2f", float64(ttft)/float64(time.Millisecond))
 		}
 		fmt.Println()
 	}
 
 	fmt.Println("\nfull Mixture-of-Agents run: 3 layers x 3 agents, 2K prompt, 256-token responses")
-	cfg := kvcache.MoAConfig{
+	cfg := grouter.MoAConfig{
 		LLM: llm, Layers: 3, Agents: 3, TP: 2,
 		PromptTokens: 2048, ResponseTokens: 256,
 	}
-	for _, s := range systems {
-		engine := sim.NewEngine()
-		c := kvcache.NewCluster(engine, 2)
+	for _, sys := range systems {
+		s := grouter.MustNewSim("h800x8")
+		c := s.NewKVCluster(2)
 		var total time.Duration
-		engine.Go("moa", func(p *sim.Proc) {
-			total = c.MoALatency(p, s, cfg)
+		s.Go("moa", func(p *grouter.Proc) {
+			total = c.MoALatency(p, sys, cfg)
 		})
-		engine.Run(0)
-		engine.Close()
-		fmt.Printf("%-10s end-to-end %8.1f ms\n", s, float64(total)/float64(time.Millisecond))
+		s.Run()
+		s.Close()
+		fmt.Printf("%-10s end-to-end %8.1f ms\n", sys, float64(total)/float64(time.Millisecond))
 	}
 }

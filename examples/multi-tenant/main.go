@@ -4,43 +4,33 @@
 // loads large chunks over PCIe. The program runs the pair twice — with
 // GROUTER's fine-grained bandwidth harvesting and with DeepPlan-style
 // uncontrolled sharing — and prints how much of the interference the
-// partitioning absorbs.
+// partitioning absorbs. Everything goes through the grouter façade.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"grouter/internal/cluster"
-	"grouter/internal/core"
-	"grouter/internal/dataplane"
-	"grouter/internal/fabric"
-	"grouter/internal/scheduler"
-	"grouter/internal/sim"
-	"grouter/internal/topology"
-	"grouter/internal/trace"
-	"grouter/internal/workflow"
+	"grouter"
 )
 
-func runPair(label string, cfg core.Config) (p99 time.Duration, hostXfer time.Duration, compliance float64) {
-	engine := sim.NewEngine()
-	defer engine.Close()
-	c := cluster.New(engine, topology.DGXV100(), 1, func(f *fabric.Fabric) dataplane.Plane {
-		return core.New(f, cfg)
-	})
-	driving := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
-	video := c.Deploy(workflow.Video(), 0, scheduler.Options{Node: 0})
+func runPair(label string, cfg grouter.Config) (p99 time.Duration, hostXfer time.Duration, compliance float64) {
+	s := grouter.MustNewSim("dgx-v100")
+	defer s.Close()
+	c := s.NewCluster(func(s *grouter.Sim) grouter.Plane { return s.NewGRouter(cfg) })
+	driving := c.Deploy(grouter.DrivingWorkflow(), 0, grouter.PlaceOptions{Node: 0})
+	video := c.Deploy(grouter.VideoWorkflow(), 0, grouter.PlaceOptions{Node: 0})
 
 	dur := 15 * time.Second
-	for _, at := range trace.Generate(trace.Spec{Pattern: trace.Bursty, Duration: dur, MeanRPS: 6, Seed: 5}) {
+	for _, at := range grouter.GenerateTrace(grouter.TraceSpec{Pattern: grouter.Bursty, Duration: dur, MeanRPS: 6, Seed: 5}) {
 		at := at
-		engine.Schedule(at, func() { driving.Invoke() })
+		s.Schedule(at, func() { driving.Invoke() })
 	}
-	for _, at := range trace.Generate(trace.Spec{Pattern: trace.Bursty, Duration: dur, MeanRPS: 24, Seed: 6}) {
+	for _, at := range grouter.GenerateTrace(grouter.TraceSpec{Pattern: grouter.Bursty, Duration: dur, MeanRPS: 24, Seed: 6}) {
 		at := at
-		engine.Schedule(at, func() { video.Invoke() })
+		s.Schedule(at, func() { video.Invoke() })
 	}
-	engine.Run(0)
+	s.Run()
 	fmt.Printf("%-22s driving: %3d reqs  p99 %6.2f ms  gFn-host %5.2f ms  SLO met %3.0f%%   (video: %d reqs)\n",
 		label, driving.Completed,
 		float64(driving.E2E.P(0.99))/float64(time.Millisecond),
@@ -52,10 +42,10 @@ func runPair(label string, cfg core.Config) (p99 time.Duration, hostXfer time.Du
 func main() {
 	fmt.Println("driving (latency-critical) colocated with video (transfer-intensive), DGX-V100")
 	fmt.Println()
-	full := core.FullConfig()
+	full := grouter.FullConfig()
 	_, fullHost, _ := runPair("with partitioning", full)
 
-	shared := core.FullConfig()
+	shared := grouter.FullConfig()
 	shared.NoRateControl = true // DeepPlan-style uncontrolled sharing
 	_, sharedHost, _ := runPair("without partitioning", shared)
 

@@ -1,38 +1,33 @@
 // Quickstart: the smallest possible GROUTER program. Two GPU functions on
 // one DGX-V100 node exchange a 256 MiB tensor through the GROUTER data plane
 // and through the host-centric baseline, and the program prints the latency
-// of each path.
+// of each path. Everything goes through the grouter façade — no internal
+// imports.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"grouter/internal/baselines"
-	"grouter/internal/core"
-	"grouter/internal/dataplane"
-	"grouter/internal/fabric"
-	"grouter/internal/sim"
-	"grouter/internal/topology"
+	"grouter"
 )
 
 func main() {
 	const payload = 256 << 20 // 256 MiB intermediate tensor
 
-	exchange := func(name string, mk func(f *fabric.Fabric) dataplane.Plane) time.Duration {
+	exchange := func(name string, mk func(s *grouter.Sim) grouter.Plane) time.Duration {
 		// Every run gets a fresh deterministic simulation of one DGX-V100.
-		engine := sim.NewEngine()
-		defer engine.Close()
-		fab := fabric.New(engine, topology.DGXV100(), 1)
-		plane := mk(fab)
+		s := grouter.MustNewSim("dgx-v100")
+		defer s.Close()
+		plane := mk(s)
 
-		upstream := &dataplane.FnCtx{Fn: "detector", Workflow: "quickstart",
-			Loc: fabric.Location{Node: 0, GPU: 0}}
-		downstream := &dataplane.FnCtx{Fn: "recognizer", Workflow: "quickstart",
-			Loc: fabric.Location{Node: 0, GPU: 3}}
+		upstream := &grouter.FnCtx{Fn: "detector", Workflow: "quickstart",
+			Loc: grouter.Location{Node: 0, GPU: 0}}
+		downstream := &grouter.FnCtx{Fn: "recognizer", Workflow: "quickstart",
+			Loc: grouter.Location{Node: 0, GPU: 3}}
 
 		var elapsed time.Duration
-		engine.Go("exchange", func(p *sim.Proc) {
+		s.Go("exchange", func(p *grouter.Proc) {
 			start := p.Now()
 			// The upstream function stores its output...
 			ref, err := plane.Put(p, upstream, payload)
@@ -46,18 +41,14 @@ func main() {
 			plane.Free(ref)
 			elapsed = p.Now() - start
 		})
-		engine.Run(0)
+		s.Run()
 		fmt.Printf("%-9s moved %d MiB GPU0→GPU3 in %8.2f ms (%d device copies)\n",
 			name, payload>>20, float64(elapsed)/float64(time.Millisecond), plane.Stats().Copies)
 		return elapsed
 	}
 
-	g := exchange("grouter", func(f *fabric.Fabric) dataplane.Plane {
-		return core.New(f, core.FullConfig())
-	})
-	h := exchange("infless+", func(f *fabric.Fabric) dataplane.Plane {
-		return baselines.NewINFless(f)
-	})
+	g := exchange("grouter", func(s *grouter.Sim) grouter.Plane { return s.NewGRouter() })
+	h := exchange("infless+", func(s *grouter.Sim) grouter.Plane { return s.NewINFless() })
 	fmt.Printf("\nGPU-centric data passing is %.1fx faster than the host-centric path.\n",
 		h.Seconds()/g.Seconds())
 }

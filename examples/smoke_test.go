@@ -1,0 +1,59 @@
+// Smoke coverage for the example programs: each example must build, run to
+// completion, print something, and — because every simulation seed is fixed
+// — print exactly the same thing on a second run.
+package examples
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var programs = []string{
+	"quickstart",
+	"llm-moa",
+	"multi-tenant",
+	"traffic-pipeline",
+}
+
+func buildExample(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runExample(t *testing.T, bin string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s: %v\nstderr: %s", filepath.Base(bin), err, stderr.Bytes())
+	}
+	return stdout.Bytes()
+}
+
+func TestExamples(t *testing.T) {
+	for _, name := range programs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := buildExample(t, name)
+			first := runExample(t, bin)
+			if len(bytes.TrimSpace(first)) == 0 {
+				t.Fatalf("%s printed nothing", name)
+			}
+			second := runExample(t, bin)
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s output differs between runs:\n--- first\n%s\n--- second\n%s", name, first, second)
+			}
+		})
+	}
+}

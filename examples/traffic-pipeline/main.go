@@ -3,28 +3,20 @@
 // → postprocess → conditional person/car recognition) is deployed on a
 // simulated DGX-V100 and driven with an Azure-like bursty trace, once on
 // GROUTER and once on each baseline. The program prints per-system latency
-// percentiles and the data-passing/compute breakdown.
+// percentiles and the data-passing/compute breakdown. Everything goes
+// through the grouter façade.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"grouter/internal/baselines"
-	"grouter/internal/cluster"
-	"grouter/internal/core"
-	"grouter/internal/dataplane"
-	"grouter/internal/fabric"
-	"grouter/internal/scheduler"
-	"grouter/internal/sim"
-	"grouter/internal/topology"
-	"grouter/internal/trace"
-	"grouter/internal/workflow"
+	"grouter"
 )
 
 func main() {
-	arrivals := trace.Generate(trace.Spec{
-		Pattern:  trace.Bursty,
+	arrivals := grouter.GenerateTrace(grouter.TraceSpec{
+		Pattern:  grouter.Bursty,
 		Duration: 20 * time.Second,
 		MeanRPS:  8,
 		Seed:     42,
@@ -36,19 +28,19 @@ func main() {
 
 	systems := []struct {
 		name string
-		mk   func(f *fabric.Fabric) dataplane.Plane
+		mk   func(s *grouter.Sim) grouter.Plane
 	}{
-		{"infless+", func(f *fabric.Fabric) dataplane.Plane { return baselines.NewINFless(f) }},
-		{"nvshmem+", func(f *fabric.Fabric) dataplane.Plane { return baselines.NewNVShmem(f, 1) }},
-		{"deepplan+", func(f *fabric.Fabric) dataplane.Plane { return baselines.NewDeepPlan(f, 1) }},
-		{"grouter", func(f *fabric.Fabric) dataplane.Plane { return core.New(f, core.FullConfig()) }},
+		{"infless+", func(s *grouter.Sim) grouter.Plane { return s.NewINFless() }},
+		{"nvshmem+", func(s *grouter.Sim) grouter.Plane { return s.NewNVShmem(1) }},
+		{"deepplan+", func(s *grouter.Sim) grouter.Plane { return s.NewDeepPlan(1) }},
+		{"grouter", func(s *grouter.Sim) grouter.Plane { return s.NewGRouter() }},
 	}
 	for _, sys := range systems {
-		engine := sim.NewEngine()
-		c := cluster.New(engine, topology.DGXV100(), 1, sys.mk)
-		app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: 0})
+		s := grouter.MustNewSim("dgx-v100")
+		c := s.NewCluster(sys.mk)
+		app := c.Deploy(grouter.TrafficWorkflow(), 0, grouter.PlaceOptions{Node: 0})
 		app.RunTrace(arrivals)
-		engine.Close()
+		s.Close()
 		fmt.Printf("%-10s %9.2f %9.2f %10.2f %10.2f %9.2f\n",
 			sys.name,
 			msf(app.E2E.P(0.5)), msf(app.E2E.P(0.99)),

@@ -1,0 +1,145 @@
+package grouter
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFacadeOptions(t *testing.T) {
+	s := MustNewSim("dgx-v100", WithNodes(2), WithSeed(11), WithTracer(), WithFaults(), WithCoalescing())
+	defer s.Close()
+	if s.Fabric.NumNodes() != 2 {
+		t.Errorf("WithNodes(2): nodes = %d", s.Fabric.NumNodes())
+	}
+	if s.Tracer() == nil {
+		t.Error("WithTracer: Tracer() is nil")
+	}
+	if s.Faults() == nil {
+		t.Error("WithFaults: Faults() is nil")
+	}
+	if name := s.NewGRouter().Name(); name != "grouter+co" {
+		t.Errorf("WithCoalescing: plane name = %q, want grouter+co", name)
+	}
+	// An explicit Config overrides the Sim-level options.
+	if name := s.NewGRouter(FullConfig()).Name(); name != "grouter" {
+		t.Errorf("explicit config: plane name = %q, want grouter", name)
+	}
+
+	plain := MustNewSim("dgx-v100")
+	defer plain.Close()
+	if plain.Tracer() != nil || plain.Faults() != nil {
+		t.Error("default Sim should have no tracer or injector")
+	}
+	if name := plain.NewGRouter().Name(); name != "grouter" {
+		t.Errorf("default plane name = %q, want grouter", name)
+	}
+}
+
+func TestFacadeDeprecatedShims(t *testing.T) {
+	s, err := NewSimN("dgx-v100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Fabric.NumNodes() != 2 {
+		t.Errorf("NewSimN nodes = %d, want 2", s.Fabric.NumNodes())
+	}
+	s2 := MustNewSimN("dgx-v100", 1)
+	defer s2.Close()
+}
+
+// TestFacadeErrorSentinels drives each failure through the public API and
+// checks errors.Is against the exported sentinels.
+func TestFacadeErrorSentinels(t *testing.T) {
+	s := MustNewSim("dgx-v100")
+	defer s.Close()
+	pl := s.NewGRouter()
+	s.Go("errs", func(p *Proc) {
+		ctx := &FnCtx{Fn: "f", Workflow: "wf", Loc: Location{Node: 0, GPU: 0}}
+		if err := pl.Get(p, ctx, DataRef{ID: 42, Bytes: 1 << 20}); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get unknown = %v, want ErrNotFound", err)
+		}
+		ref, err := pl.Put(p, ctx, 1<<20)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		thief := &FnCtx{Fn: "g", Workflow: "other", Loc: Location{Node: 0, GPU: 1}}
+		if err := pl.Get(p, thief, ref); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("cross-workflow Get = %v, want ErrAccessDenied", err)
+		}
+		pl.Free(ref)
+		if err := pl.Get(p, ctx, ref); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get freed = %v, want ErrNotFound", err)
+		}
+	})
+	s.Run()
+	for name, e := range map[string]error{
+		"ErrNotFound": ErrNotFound, "ErrEvicted": ErrEvicted,
+		"ErrGPUDown": ErrGPUDown, "ErrDeadline": ErrDeadline,
+		"ErrAccessDenied": ErrAccessDenied,
+	} {
+		if e == nil {
+			t.Errorf("%s is nil", name)
+		}
+	}
+}
+
+// TestFacadeCluster runs a workflow end to end through Sim.NewCluster on the
+// Sim's own fabric.
+func TestFacadeCluster(t *testing.T) {
+	s := MustNewSim("dgx-v100", WithTracer())
+	defer s.Close()
+	c := s.NewCluster(func(s *Sim) Plane { return s.NewGRouter() })
+	app := c.Deploy(TrafficWorkflow(), 0, PlaceOptions{Node: 0})
+	for _, at := range GenerateTrace(TraceSpec{Pattern: Bursty, Duration: 2 * time.Second, MeanRPS: 4, Seed: 9}) {
+		at := at
+		s.Schedule(at, func() { app.Invoke() })
+	}
+	s.Run()
+	if app.Completed == 0 {
+		t.Fatal("no requests completed through the façade cluster")
+	}
+	if s.Tracer().Len() == 0 {
+		t.Error("tracer attached but recorded no spans")
+	}
+}
+
+// TestFacadeCoalescedFanout drives an 8-way fan-out through the façade with
+// coalescing on and off, and checks the coalesced run moves fewer bytes over
+// the producer's links.
+func TestFacadeCoalescedFanout(t *testing.T) {
+	run := func(opts ...Option) *Stats {
+		s := MustNewSim("dgx-v100", opts...)
+		defer s.Close()
+		pl := s.NewGRouter()
+		prod := &FnCtx{Fn: "p", Workflow: "wf", Loc: Location{Node: 0, GPU: 0}}
+		var ref DataRef
+		s.Go("produce", func(p *Proc) {
+			var err error
+			if ref, err = pl.Put(p, prod, 64<<20); err != nil {
+				t.Errorf("Put: %v", err)
+			}
+		})
+		for i := 1; i <= 6; i++ {
+			gpu := i
+			s.Go("consume", func(p *Proc) {
+				p.Sleep(time.Millisecond)
+				cons := &FnCtx{Fn: "c", Workflow: "wf", Loc: Location{Node: 0, GPU: gpu}}
+				if err := pl.Get(p, cons, ref); err != nil {
+					t.Errorf("Get: %v", err)
+				}
+			})
+		}
+		s.Run()
+		return pl.Stats()
+	}
+	naive := run()
+	co := run(WithCoalescing())
+	if co.Coalesce.OriginBytes >= naive.BytesMoved {
+		t.Errorf("coalescing saved nothing: origin %d vs naive %d", co.Coalesce.OriginBytes, naive.BytesMoved)
+	}
+	if got := co.Coalesce.Joined + co.Coalesce.Chained + co.Coalesce.ReplicaHits; got == 0 {
+		t.Error("no Get was coalesced")
+	}
+}

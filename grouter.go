@@ -3,14 +3,18 @@
 // Workflows: A GPU-Centric Approach" (EuroSys 2026) on a simulated GPU
 // cluster substrate.
 //
-// The package is a convenience façade over the library's subsystems:
+// The package is a convenience façade over the library's subsystems; user
+// programs never import grouter/internal/... paths:
 //
 //   - grouter.NewSim builds a deterministic simulated cluster (DGX-V100,
-//     DGX-A100, 8×H800 or 4×A10 nodes);
+//     DGX-A100, 8×H800 or 4×A10 nodes), configured through functional
+//     options: WithNodes, WithSeed, WithTracer, WithFaults, WithCoalescing;
 //   - Sim.NewGRouter / NewINFless / NewNVShmem / NewDeepPlan construct the
 //     data planes, all implementing the same Plane interface (Put/Get/Free);
 //   - Sim.NewCluster wires a data plane into a serverless runtime that
-//     deploys workflow DAGs and executes requests.
+//     deploys workflow DAGs and executes requests;
+//   - Sim.Tracer and Sim.Faults expose the virtual-time tracer and the
+//     fault injector when the corresponding options are set.
 //
 // See examples/quickstart for the shortest end-to-end program and
 // cmd/grouter-bench for the paper-reproduction experiments.
@@ -18,38 +22,115 @@ package grouter
 
 import (
 	"fmt"
+	"time"
 
 	"grouter/internal/baselines"
 	"grouter/internal/cluster"
 	"grouter/internal/core"
 	"grouter/internal/dataplane"
 	"grouter/internal/fabric"
+	"grouter/internal/faults"
+	"grouter/internal/kvcache"
+	"grouter/internal/models"
+	"grouter/internal/obs"
+	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
 )
 
 // Re-exported core types: the façade lets downstream code use the library
 // without spelling internal import paths.
 type (
-	// Plane is a serverless data plane (GROUTER or a baseline).
+	// Plane is a serverless data plane (GROUTER or a baseline). Get returns
+	// ErrNotFound for an unknown or freed object, ErrGPUDown when a
+	// crash-lost object cannot be recovered, and ErrDeadline when a transfer
+	// misses its SLO budget; Put returns ErrEvicted when storage cannot make
+	// room even by spilling to host memory.
 	Plane = dataplane.Plane
 	// FnCtx identifies the calling function instance to the data plane.
 	FnCtx = dataplane.FnCtx
 	// DataRef names a stored intermediate-data object.
 	DataRef = dataplane.DataRef
+	// DataID is the global identifier inside a DataRef.
+	DataID = dataplane.DataID
+	// Stats aggregates a plane's activity counters.
+	Stats = dataplane.Stats
+	// CoalesceStats breaks down how coalesced Gets were served.
+	CoalesceStats = dataplane.CoalesceStats
 	// Location is a physical placement (node + GPU, or host memory).
 	Location = fabric.Location
 	// Config toggles GROUTER's optimizations (all enabled by default).
 	Config = core.Config
 	// Proc is a cooperative simulation process.
 	Proc = sim.Proc
+	// Runtime is the serverless cluster runtime (deploys workflow DAGs).
+	Runtime = cluster.Cluster
+	// App is one deployed workflow application on a Runtime.
+	App = cluster.App
+	// Workflow is a DAG of serverless function stages.
+	Workflow = workflow.Workflow
+	// PlaceOptions constrains where a workflow's stages are placed.
+	PlaceOptions = scheduler.Options
+	// Tracer records virtual-time spans; export with its Perfetto/JSON
+	// writers. Attached to a Sim via WithTracer.
+	Tracer = obs.Tracer
+	// FaultInjector schedules link failures, GPU crashes, and memory
+	// pressure in virtual time. Attached to a Sim via WithFaults.
+	FaultInjector = faults.Injector
+	// Crasher is anything whose GPUs a FaultInjector can crash; both the
+	// GROUTER plane and the runtime's planes implement it.
+	Crasher = faults.Crasher
+	// TraceSpec parameterizes synthetic arrival-trace generation.
+	TraceSpec = trace.Spec
+	// TracePattern selects the arrival process shape.
+	TracePattern = trace.Pattern
+	// KVSystem selects a KV-cache passing implementation.
+	KVSystem = kvcache.System
+	// KVCluster is the LLM KV-cache benchmark cluster.
+	KVCluster = kvcache.Cluster
+	// MoAConfig parameterizes a Mixture-of-Agents run on a KVCluster.
+	MoAConfig = kvcache.MoAConfig
+	// LLM describes a served LLM (weights, KV bytes/token, speeds).
+	LLM = models.LLM
 )
 
 // HostGPU marks host memory in a Location.
 const HostGPU = fabric.HostGPU
 
+// Arrival-trace patterns (TraceSpec.Pattern).
+const (
+	Sporadic = trace.Sporadic
+	Periodic = trace.Periodic
+	Bursty   = trace.Bursty
+)
+
+// KV-cache passing systems for KVCluster benchmarks.
+const (
+	SysINFless  = kvcache.SysINFless
+	SysMooncake = kvcache.SysMooncake
+	SysGRouter  = kvcache.SysGRouter
+)
+
 // FullConfig returns the complete GROUTER system configuration.
 func FullConfig() Config { return core.FullConfig() }
+
+// GenerateTrace synthesizes request arrival offsets for the given spec.
+func GenerateTrace(s TraceSpec) []time.Duration { return trace.Generate(s) }
+
+// TrafficWorkflow returns the paper's Fig. 1 traffic-monitoring pipeline.
+func TrafficWorkflow() *Workflow { return workflow.Traffic() }
+
+// DrivingWorkflow returns the latency-critical road-segmentation workflow.
+func DrivingWorkflow() *Workflow { return workflow.Driving() }
+
+// VideoWorkflow returns the transfer-intensive video-analytics workflow.
+func VideoWorkflow() *Workflow { return workflow.Video() }
+
+// MustLookupLLM returns a profiled LLM by name ("llama-7b", ...), panicking
+// on an unknown name.
+func MustLookupLLM(name string) *LLM { return models.MustLookupLLM(name) }
 
 // Sim is one deterministic simulation universe: an engine plus a cluster
 // fabric. Every Sim is independent; identical inputs produce identical
@@ -57,22 +138,45 @@ func FullConfig() Config { return core.FullConfig() }
 type Sim struct {
 	Engine *sim.Engine
 	Fabric *fabric.Fabric
+
+	opts     simOptions
+	tracer   *obs.Tracer
+	injector *faults.Injector
 }
 
-// NewSim builds a simulation of n nodes of the named topology: "dgx-v100",
-// "dgx-a100", "h800x8", or "quad-a10".
-func NewSim(spec string, n int) (*Sim, error) {
+// NewSim builds a simulation of the named topology — "dgx-v100", "dgx-a100",
+// "h800x8", or "quad-a10" — with one node unless WithNodes says otherwise:
+//
+//	s, err := grouter.NewSim("dgx-v100", grouter.WithNodes(2),
+//	    grouter.WithSeed(7), grouter.WithTracer(), grouter.WithCoalescing())
+func NewSim(spec string, opts ...Option) (*Sim, error) {
 	s := topology.SpecByName(spec)
 	if s == nil {
 		return nil, fmt.Errorf("grouter: unknown topology %q", spec)
 	}
+	o := defaultSimOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.nodes < 1 {
+		return nil, fmt.Errorf("grouter: simulation needs at least 1 node, got %d", o.nodes)
+	}
 	e := sim.NewEngine()
-	return &Sim{Engine: e, Fabric: fabric.New(e, s, n)}, nil
+	sm := &Sim{Engine: e, opts: o}
+	if o.trace {
+		// Attach before the fabric exists so no early span is missed.
+		sm.tracer = obs.Attach(e)
+	}
+	sm.Fabric = fabric.New(e, s, o.nodes)
+	if o.faults {
+		sm.injector = faults.NewInjector(e, sm.Fabric.Net)
+	}
+	return sm, nil
 }
 
-// MustNewSim is NewSim for tests and examples; it panics on a bad name.
-func MustNewSim(spec string, n int) *Sim {
-	s, err := NewSim(spec, n)
+// MustNewSim is NewSim for tests and examples; it panics on a bad spec.
+func MustNewSim(spec string, opts ...Option) *Sim {
+	s, err := NewSim(spec, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -88,8 +192,32 @@ func (s *Sim) Run() { s.Engine.Run(0) }
 // Go spawns a simulation process.
 func (s *Sim) Go(name string, body func(p *Proc)) { s.Engine.Go(name, body) }
 
-// NewGRouter builds the GPU-centric data plane on this simulation.
-func (s *Sim) NewGRouter(cfg Config) Plane { return core.New(s.Fabric, cfg) }
+// Schedule runs fn at the given virtual time (for request arrival traces).
+func (s *Sim) Schedule(at time.Duration, fn func()) { s.Engine.Schedule(at, fn) }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.Engine.Now() }
+
+// Tracer returns the virtual-time tracer, or nil unless the Sim was built
+// WithTracer.
+func (s *Sim) Tracer() *Tracer { return s.tracer }
+
+// Faults returns the fault injector, or nil unless the Sim was built
+// WithFaults.
+func (s *Sim) Faults() *FaultInjector { return s.injector }
+
+// NewGRouter builds the GPU-centric data plane on this simulation. With no
+// argument it runs the full system, inheriting the Sim's WithSeed and
+// WithCoalescing options; an explicit Config overrides all of that.
+func (s *Sim) NewGRouter(cfg ...Config) Plane {
+	c := FullConfig()
+	c.Seed = s.opts.seed
+	c.Coalesce = s.opts.coalesce
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	return core.New(s.Fabric, c)
+}
 
 // NewINFless builds the host-centric baseline.
 func (s *Sim) NewINFless() Plane { return baselines.NewINFless(s.Fabric) }
@@ -100,5 +228,28 @@ func (s *Sim) NewNVShmem(seed int64) Plane { return baselines.NewNVShmem(s.Fabri
 // NewDeepPlan builds the parallel-PCIe GPU-store baseline.
 func (s *Sim) NewDeepPlan(seed int64) Plane { return baselines.NewDeepPlan(s.Fabric, seed) }
 
-// Runtime re-exports the serverless cluster runtime.
-type Runtime = cluster.Cluster
+// NewCluster wires a data plane into a serverless runtime on this Sim's
+// fabric, so the runtime shares the Sim's tracer and fault injector:
+//
+//	c := s.NewCluster(func(s *grouter.Sim) grouter.Plane { return s.NewGRouter() })
+//	app := c.Deploy(grouter.TrafficWorkflow(), 0, grouter.PlaceOptions{Node: 0})
+func (s *Sim) NewCluster(mkPlane func(s *Sim) Plane) *Runtime {
+	return cluster.NewOnFabric(s.Fabric, 1, func(*fabric.Fabric) dataplane.Plane {
+		return mkPlane(s)
+	})
+}
+
+// NewKVCluster builds an n-node LLM KV-cache benchmark cluster on this
+// simulation's engine. It carries its own 8×H800 fabric, sized for
+// tensor-parallel KV exchange, independent of the Sim's fabric.
+func (s *Sim) NewKVCluster(n int) *KVCluster { return kvcache.NewCluster(s.Engine, n) }
+
+// NewSimN builds a simulation of n nodes of the named topology.
+//
+// Deprecated: use NewSim(spec, WithNodes(n)).
+func NewSimN(spec string, n int) (*Sim, error) { return NewSim(spec, WithNodes(n)) }
+
+// MustNewSimN is MustNewSim with a node count.
+//
+// Deprecated: use MustNewSim(spec, WithNodes(n)).
+func MustNewSimN(spec string, n int) *Sim { return MustNewSim(spec, WithNodes(n)) }

@@ -6,10 +6,13 @@ import (
 )
 
 func TestNewSimValidatesSpec(t *testing.T) {
-	if _, err := NewSim("not-a-box", 1); err == nil {
+	if _, err := NewSim("not-a-box"); err == nil {
 		t.Error("unknown topology should error")
 	}
-	s, err := NewSim("dgx-a100", 2)
+	if _, err := NewSim("dgx-v100", WithNodes(0)); err == nil {
+		t.Error("zero nodes should error")
+	}
+	s, err := NewSim("dgx-a100", WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,11 +25,11 @@ func TestNewSimValidatesSpec(t *testing.T) {
 			t.Error("MustNewSim should panic on bad spec")
 		}
 	}()
-	MustNewSim("nope", 1)
+	MustNewSim("nope")
 }
 
 func TestFacadeEndToEnd(t *testing.T) {
-	s := MustNewSim("dgx-v100", 1)
+	s := MustNewSim("dgx-v100")
 	defer s.Close()
 	pl := s.NewGRouter(FullConfig())
 	var elapsed time.Duration
@@ -56,7 +59,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeBaselines(t *testing.T) {
-	s := MustNewSim("dgx-v100", 1)
+	s := MustNewSim("dgx-v100")
 	defer s.Close()
 	for _, pl := range []Plane{s.NewINFless(), s.NewNVShmem(3), s.NewDeepPlan(3)} {
 		pl := pl

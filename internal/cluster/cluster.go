@@ -52,22 +52,30 @@ func New(e *sim.Engine, spec *topology.Spec, n int, mkPlane func(*fabric.Fabric)
 // bandwidth and memory contention, which makes the data plane's partitioning
 // and storage management more critical.
 func NewSpatial(e *sim.Engine, spec *topology.Spec, n, slots int, mkPlane func(*fabric.Fabric) dataplane.Plane) *Cluster {
+	return NewOnFabric(fabric.New(e, spec, n), slots, mkPlane)
+}
+
+// NewOnFabric builds the runtime over an existing fabric instead of creating
+// its own, so a cluster can share the fabric with an already-attached tracer,
+// fault injector, or externally-constructed data plane (the grouter façade's
+// Sim.NewCluster uses this).
+func NewOnFabric(f *fabric.Fabric, slots int, mkPlane func(*fabric.Fabric) dataplane.Plane) *Cluster {
 	if slots < 1 {
 		panic("cluster: GPU slots must be >= 1")
 	}
-	f := fabric.New(e, spec, n)
+	e := f.Engine
 	c := &Cluster{
 		Engine: e,
 		Fabric: f,
 		Plane:  mkPlane(f),
 		Placer: scheduler.NewPlacer(f.Cluster),
-		Class:  models.ClassOf(spec),
+		Class:  models.ClassOf(f.Spec()),
 		xm:     xfer.NewManager(f),
 		rng:    rand.New(rand.NewSource(97)),
 	}
-	for node := 0; node < n; node++ {
+	for node := 0; node < len(f.Nodes); node++ {
 		var row []*sim.Resource
-		for g := 0; g < spec.NumGPUs; g++ {
+		for g := 0; g < f.Spec().NumGPUs; g++ {
 			row = append(row, sim.NewResource(e, slots))
 		}
 		c.gpus = append(c.gpus, row)

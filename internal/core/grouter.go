@@ -65,6 +65,12 @@ type Config struct {
 	// partitioning (the GROUTER−BH variant of Fig. 17, which shares
 	// bandwidth like DeepPlan+).
 	NoRateControl bool
+	// Coalesce enables fan-out-aware transfer coalescing: concurrent Gets of
+	// one object to the same GPU join a single transfer, and later consumers
+	// pull from the nearest registered replica (or chain off an in-flight
+	// copy) instead of the producer's links. Off by default so the base
+	// system's traces and experiment numbers are unchanged; see coalesce.go.
+	Coalesce bool
 
 	// StoreOverride replaces the derived storage configuration (used by the
 	// Fig. 18 policy comparison).
@@ -115,6 +121,13 @@ type Plane struct {
 	// global table once and caching the result).
 	localTables []map[dataplane.DataID]bool
 
+	// Coalescing state (nil / unused unless cfg.Coalesce): the replica
+	// registry, in-flight transfers by object, and the store cache items
+	// backing registered replicas.
+	replicas *store.Registry
+	flights  map[dataplane.DataID][]*flight
+	caches   map[cacheKey]*store.Item
+
 	stats dataplane.Stats
 }
 
@@ -145,6 +158,9 @@ func New(f *fabric.Fabric, cfg Config) *Plane {
 		}
 		pl.sel = append(pl.sel, sel)
 		pl.localTables = append(pl.localTables, make(map[dataplane.DataID]bool))
+	}
+	if cfg.Coalesce {
+		pl.initCoalesce()
 	}
 	return pl
 }
@@ -178,6 +194,9 @@ func (pl *Plane) Name() string {
 	if !pl.cfg.UnifiedFramework {
 		name += "-UF"
 	}
+	if pl.cfg.Coalesce {
+		name += "+co"
+	}
 	return name
 }
 
@@ -189,6 +208,9 @@ func (pl *Plane) Store(n int) *store.Manager { return pl.stores[n] }
 
 // Put stores ctx's output. With the unified framework the data stays where
 // it was produced (zero copy); without it a random GPU store receives a copy.
+// It returns dataplane.ErrEvicted when the store cannot make room even after
+// spilling to host memory, and xfer.ErrDeadline when a placement-agnostic
+// copy misses its SLO budget.
 func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.DataRef, error) {
 	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
 		span := tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "put:"+ctx.Fn)
@@ -241,11 +263,14 @@ func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.
 }
 
 // Get makes ref available at ctx.Loc, choosing the transfer pattern from the
-// data's current location (§4.2.2).
+// data's current location (§4.2.2). It returns dataplane.ErrNotFound for an
+// unknown (or already-freed) id, ErrAccessDenied for a cross-workflow read,
+// dataplane.ErrGPUDown when a crash-lost object cannot be re-materialized,
+// and xfer.ErrDeadline when the transfer misses its SLO budget.
 func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) error {
 	r := pl.recs[ref.ID]
 	if r == nil {
-		return fmt.Errorf("grouter: unknown data id %d", ref.ID)
+		return fmt.Errorf("grouter: %w: data id %d", dataplane.ErrNotFound, ref.ID)
 	}
 	// Authenticate the requesting function: data items are readable only
 	// within their owning workflow (§7).
@@ -254,8 +279,10 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 		return fmt.Errorf("%w: workflow %q cannot read data of %q", ErrAccessDenied, ctx.Workflow, r.workflow)
 	}
 	pl.stats.Gets++
-	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
-		span := tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "get:"+ctx.Fn)
+	tr := obs.TracerOf(pl.f.Engine)
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "get:"+ctx.Fn)
 		tr.SetAttrInt(span, "bytes", ref.Bytes)
 		defer tr.End(span)
 	}
@@ -271,6 +298,10 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 		p.Sleep(GlobalLookupLatency)
 		obs.Account(p, obs.CatSetup, GlobalLookupLatency)
 		pl.localTables[ctx.Loc.Node][ref.ID] = true
+	}
+
+	if pl.cfg.Coalesce {
+		return pl.getCoalesced(p, ctx, ref, r, tr, span)
 	}
 
 	if r.lost {
@@ -298,7 +329,7 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 func (pl *Plane) rematerialize(p *sim.Proc, r *rec) error {
 	blk, err := pl.f.NodeF(r.node).Host.Alloc(r.bytes)
 	if err != nil {
-		return fmt.Errorf("grouter: rematerialize %d bytes: %w", r.bytes, err)
+		return fmt.Errorf("grouter: rematerialize %d bytes: %w: %w", r.bytes, dataplane.ErrGPUDown, err)
 	}
 	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
 		span := tr.Begin(obs.CatMigrate, "rematerialize")
@@ -332,6 +363,9 @@ func (pl *Plane) CrashGPU(node, gpu int) int {
 		r.it = nil
 		r.lost = true
 	}
+	// Replica invalidation: cached copies on the crashed GPU are destroyed
+	// with their registry entries, in ascending object-ID order.
+	pl.crashReplicas(node, gpu)
 	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
 		ev := tr.InstantOn(obs.TrackStoreBase+int32(node), obs.CatStore, "gpu-crash")
 		tr.SetAttrInt(ev, "gpu", int64(gpu))
@@ -357,6 +391,9 @@ func (pl *Plane) Free(ref dataplane.DataRef) {
 	delete(pl.recs, ref.ID)
 	for _, tbl := range pl.localTables {
 		delete(tbl, ref.ID)
+	}
+	if pl.cfg.Coalesce {
+		pl.dropReplicas(ref.ID)
 	}
 	pl.stats.AddControl(1, LocalLookupLatency)
 	if r.hostBlk != nil {

@@ -84,6 +84,34 @@ type Stats struct {
 	ControlOps int64
 	// ControlCPU accumulates estimated control-plane CPU time.
 	ControlCPU time.Duration
+
+	// Coalesce counts fan-out-aware transfer coalescing activity; all zero
+	// unless the plane runs with coalescing enabled.
+	Coalesce CoalesceStats
+}
+
+// CoalesceStats breaks down how coalesced Gets were served. OriginBytes vs
+// ReplicaBytes is the fan-out experiment's headline metric: every byte in
+// ReplicaBytes is a byte the producer GPU's own links did not have to carry.
+type CoalesceStats struct {
+	// Joined counts Gets that attached to an in-flight transfer of the same
+	// object to the same destination (true dedup: zero extra bytes moved).
+	Joined int64
+	// Chained counts Gets sourced from a destination whose copy was still in
+	// flight when the source was chosen (the multicast-chain hop).
+	Chained int64
+	// ReplicaHits counts Gets served from a registered replica that was
+	// already resident when the Get arrived.
+	ReplicaHits int64
+	// LocalHits counts Gets that found a replica already resident on the
+	// requesting GPU (zero-copy map, like hitting the primary locally).
+	LocalHits int64
+	// OriginGets counts Gets that pulled from the object's primary location.
+	OriginGets int64
+	// OriginBytes / ReplicaBytes split transferred payload bytes by whether
+	// the source was the primary copy or a replica/chained copy.
+	OriginBytes  int64
+	ReplicaBytes int64
 }
 
 // AddControl records n control operations at the given per-op CPU cost.

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{"ext-coldstart", "Extension: function pre-warming sensitivity", ExtColdStart},
 		{"ext-spatial", "Extension: spatial GPU sharing contention", ExtSpatialSharing},
 		{"ext-faults", "Extension: self-healing transfers under link faults", ExtFaults},
+		{"ext-fanout", "Extension: fan-out transfer coalescing", ExtFanout},
 	}
 }
 

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The PR's acceptance bar: for every topology and fan-out N >= 4, coalescing
+// must cut the producer GPU's source-link bytes by at least 30% and must not
+// raise the p99 consumer Get latency.
+func TestFanoutAcceptance(t *testing.T) {
+	const (
+		bytes  = 128 << 20
+		rounds = 3
+	)
+	for _, topo := range fanoutTopos {
+		for _, fanout := range []int{4, 8} {
+			naive := runFanout(topo.spec(), topo.nodes, fanout, rounds, bytes, false)
+			co := runFanout(topo.spec(), topo.nodes, fanout, rounds, bytes, true)
+			saved := 1 - float64(co.origin)/float64(naive.origin)
+			if saved < 0.30 {
+				t.Errorf("%s N=%d: origin bytes %d -> %d, saved %.0f%% < 30%%",
+					topo.name, fanout, naive.origin, co.origin, saved*100)
+			}
+			if co.lat.P(0.99) > naive.lat.P(0.99) {
+				t.Errorf("%s N=%d: coalesced p99 %v > naive p99 %v",
+					topo.name, fanout, co.lat.P(0.99), naive.lat.P(0.99))
+			}
+			if got := co.co.Joined + co.co.Chained + co.co.ReplicaHits; got == 0 {
+				t.Errorf("%s N=%d: coalescing enabled but no Get joined, chained, or hit a replica", topo.name, fanout)
+			}
+			if naive.moved != int64(fanout)*rounds*bytes {
+				t.Errorf("%s N=%d: naive moved %d bytes, want %d", topo.name, fanout, naive.moved, int64(fanout)*rounds*bytes)
+			}
+		}
+	}
+}
+
+// Coalesced fan-out must stay deterministic: two identical runs produce the
+// same byte counts, stats, and latency distribution.
+func TestFanoutDeterministic(t *testing.T) {
+	for _, coalesce := range []bool{false, true} {
+		a := runFanout(fanoutTopos[0].spec(), fanoutTopos[0].nodes, 6, 2, 64<<20, coalesce)
+		b := runFanout(fanoutTopos[0].spec(), fanoutTopos[0].nodes, 6, 2, 64<<20, coalesce)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("coalesce=%v: runs differ:\n%+v\n%+v", coalesce, a, b)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CoalesceCounters aggregates fan-out transfer-coalescing activity across the
+// process, mirroring FaultStats: per-plane breakdowns live in
+// dataplane.Stats.Coalesce, while these process-wide counters let harnesses
+// like cmd/grouter-bench report coalescing work without reaching into each
+// simulator. All fields are atomic because instrumented simulators run from
+// parallel tests.
+type CoalesceCounters struct {
+	// Joined counts Gets deduplicated onto an in-flight transfer.
+	Joined atomic.Int64
+	// Chained counts Gets sourced from a copy that was still in flight.
+	Chained atomic.Int64
+	// ReplicaHits counts Gets served from an already-resident replica.
+	ReplicaHits atomic.Int64
+	// ReplicasDropped counts replica cache entries invalidated by store
+	// eviction pressure or GPU crashes.
+	ReplicasDropped atomic.Int64
+	// SavedBytes totals payload bytes served from somewhere other than the
+	// object's origin (the producer's links never carried them).
+	SavedBytes atomic.Int64
+}
+
+var globalCoalesce CoalesceCounters
+
+// Coalesce returns the process-wide coalescing counters.
+func Coalesce() *CoalesceCounters { return &globalCoalesce }
+
+// Reset zeroes every counter.
+func (c *CoalesceCounters) Reset() {
+	c.Joined.Store(0)
+	c.Chained.Store(0)
+	c.ReplicaHits.Store(0)
+	c.ReplicasDropped.Store(0)
+	c.SavedBytes.Store(0)
+}
+
+// String renders a one-line summary suitable for benchmark output.
+func (c *CoalesceCounters) String() string {
+	return fmt.Sprintf("joined=%d chained=%d replica-hits=%d replicas-dropped=%d saved-bytes=%d",
+		c.Joined.Load(), c.Chained.Load(), c.ReplicaHits.Load(),
+		c.ReplicasDropped.Load(), c.SavedBytes.Load())
+}

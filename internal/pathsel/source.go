@@ -1,0 +1,85 @@
+// Replica-aware source selection: given several live copies of an object
+// (the primary, registered replicas, and destinations of transfers still in
+// flight), pick the copy the consumer should pull from. This extends the
+// paper's topology-aware scheduling (§4.3.3) from "how do I route this
+// transfer" to "which copy do I transfer at all": the second and later
+// consumers of a fan-out edge pull from the nearest fresh replica instead of
+// re-loading the producer GPU's links, turning N-way fan-out into a
+// multicast chain.
+package pathsel
+
+import (
+	"grouter/internal/fabric"
+)
+
+// SourceCandidate is one possible source location for a coalesced Get.
+type SourceCandidate struct {
+	// Loc is where the candidate copy lives (or will live).
+	Loc fabric.Location
+	// Pending marks a copy still in flight: usable only after its transfer
+	// completes, so it is discounted against resident copies.
+	Pending bool
+	// Chainers counts consumers already planning to pull from this candidate;
+	// its expected bandwidth is shared among them.
+	Chainers int
+}
+
+// pendingDiscount halves a pending candidate's score: chaining pays the
+// remaining in-flight time before its bytes exist.
+const pendingDiscount = 0.5
+
+// ChooseSource scores every candidate by the available bandwidth of the
+// canonical path from the candidate to dst — the single-path estimate folds
+// topology distance (NVLink vs PCIe vs NIC capacities) and current load
+// (netsim's unallocated bandwidth per link) into one figure — and returns
+// the index of the best, or -1 when cands is empty. Candidates whose path
+// crosses a failed link score zero but remain eligible, so a fully-faulted
+// candidate set still returns a deterministic choice (index order breaks
+// ties, so callers should list the primary first).
+func ChooseSource(f *fabric.Fabric, dst fabric.Location, cands []SourceCandidate) int {
+	best, bestScore := -1, -1.0
+	for i, c := range cands {
+		s := sourceScore(f, c, dst)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// sourceScore estimates the bandwidth dst would see pulling from c now.
+func sourceScore(f *fabric.Fabric, c SourceCandidate, dst fabric.Location) float64 {
+	if c.Loc == dst {
+		// Already resident at the destination; nothing beats it.
+		return 1e18
+	}
+	links, _ := f.SinglePath(c.Loc, dst)
+	if len(links) == 0 {
+		return 0
+	}
+	if !f.Net.PathUp(links) {
+		return 0
+	}
+	avail := -1.0
+	for _, id := range links {
+		free := f.Net.FreeOn(id)
+		if avail < 0 || free < avail {
+			avail = free
+		}
+	}
+	if avail < 0 {
+		avail = 0
+	}
+	// A saturated path still moves data under fair sharing: floor the score
+	// at a sliver of capacity so a loaded NVLink replica outranks an idle but
+	// host-mediated one only when it genuinely has headroom.
+	if capBps := f.Net.PathBps(links); avail < capBps*1e-3 {
+		avail = capBps * 1e-3
+	}
+	if c.Pending {
+		avail *= pendingDiscount
+	}
+	// Bandwidth is shared with consumers already chaining off this copy.
+	avail /= float64(1 + c.Chainers)
+	return avail
+}

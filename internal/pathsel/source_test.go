@@ -1,0 +1,136 @@
+package pathsel
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/fabric"
+	"grouter/internal/netsim"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+func sourceFabric(t *testing.T) (*sim.Engine, *fabric.Fabric) {
+	t.Helper()
+	e := sim.NewEngine()
+	f := fabric.New(e, topology.DGXV100(), 2)
+	return e, f
+}
+
+func TestChooseSourceEmpty(t *testing.T) {
+	_, f := sourceFabric(t)
+	if got := ChooseSource(f, fabric.Location{Node: 0, GPU: 0}, nil); got != -1 {
+		t.Fatalf("ChooseSource(nil) = %d, want -1", got)
+	}
+}
+
+// TestChooseSourcePrefersLocal checks the trivial dominance: a copy already
+// at the destination beats everything else.
+func TestChooseSourcePrefersLocal(t *testing.T) {
+	_, f := sourceFabric(t)
+	dst := fabric.Location{Node: 0, GPU: 2}
+	cands := []SourceCandidate{
+		{Loc: fabric.Location{Node: 0, GPU: 1}},
+		{Loc: dst},
+		{Loc: fabric.Location{Node: 1, GPU: 0}},
+	}
+	if got := ChooseSource(f, dst, cands); got != 1 {
+		t.Fatalf("ChooseSource = %d, want the co-located candidate (1)", got)
+	}
+}
+
+// TestChooseSourcePrefersIntraNode checks the topology-distance half of the
+// score: an NVLink-reachable replica on the consumer's node beats the primary
+// a NIC hop away.
+func TestChooseSourcePrefersIntraNode(t *testing.T) {
+	_, f := sourceFabric(t)
+	dst := fabric.Location{Node: 1, GPU: 1}
+	cands := []SourceCandidate{
+		{Loc: fabric.Location{Node: 0, GPU: 0}}, // primary, cross-node
+		{Loc: fabric.Location{Node: 1, GPU: 0}}, // replica, same node
+	}
+	if got := ChooseSource(f, dst, cands); got != 1 {
+		t.Fatalf("ChooseSource = %d, want the intra-node replica (1)", got)
+	}
+}
+
+// TestChooseSourceTiesFavourFirst checks deterministic tie-breaking: equal
+// scores go to the earlier index, which callers use to prefer the primary.
+func TestChooseSourceTiesFavourFirst(t *testing.T) {
+	_, f := sourceFabric(t)
+	dst := fabric.Location{Node: 1, GPU: 4}
+	cands := []SourceCandidate{
+		{Loc: fabric.Location{Node: 0, GPU: 0}},
+		{Loc: fabric.Location{Node: 0, GPU: 0}},
+	}
+	if got := ChooseSource(f, dst, cands); got != 0 {
+		t.Fatalf("ChooseSource = %d, want 0 on a tie", got)
+	}
+}
+
+// TestChooseSourceDiscountsPending checks the in-flight discount and chain
+// spreading: with identical locations, a resident copy beats a pending one,
+// and among pending copies the one with fewer chained consumers wins.
+func TestChooseSourceDiscountsPending(t *testing.T) {
+	_, f := sourceFabric(t)
+	dst := fabric.Location{Node: 0, GPU: 3}
+	loc := fabric.Location{Node: 0, GPU: 1}
+	cands := []SourceCandidate{
+		{Loc: loc, Pending: true},
+		{Loc: loc},
+	}
+	if got := ChooseSource(f, dst, cands); got != 1 {
+		t.Fatalf("ChooseSource = %d, want the resident copy (1)", got)
+	}
+	cands = []SourceCandidate{
+		{Loc: loc, Pending: true, Chainers: 3},
+		{Loc: loc, Pending: true, Chainers: 0},
+	}
+	if got := ChooseSource(f, dst, cands); got != 1 {
+		t.Fatalf("ChooseSource = %d, want the unchained flight (1)", got)
+	}
+}
+
+// TestChooseSourceAvoidsLoadedPath checks the live-bandwidth half of the
+// score: when the canonical path from one candidate is carrying a flow, the
+// other candidate's idle path wins.
+func TestChooseSourceAvoidsLoadedPath(t *testing.T) {
+	e, f := sourceFabric(t)
+	dst := fabric.Location{Node: 0, GPU: 3}
+	busy := fabric.Location{Node: 0, GPU: 1}
+	idle := fabric.Location{Node: 0, GPU: 2}
+	links, _ := f.SinglePath(busy, dst)
+	if len(links) == 0 {
+		t.Fatal("no canonical path busy→dst")
+	}
+	got := -2
+	e.Go("choose", func(p *sim.Proc) {
+		f.Net.Start("load", links, 1e9, netsim.Options{})
+		// Rate allocation happens on the next engine event; score after it.
+		p.Sleep(time.Microsecond)
+		got = ChooseSource(f, dst, []SourceCandidate{{Loc: busy}, {Loc: idle}})
+	})
+	e.Run(0)
+	if got != 1 {
+		t.Fatalf("ChooseSource = %d, want the idle candidate (1)", got)
+	}
+}
+
+// TestChooseSourceFaultedStillChooses checks that an all-faulted candidate
+// set still returns a deterministic index instead of -1 (the caller retries
+// or re-materializes; source selection never wedges).
+func TestChooseSourceFaultedStillChooses(t *testing.T) {
+	_, f := sourceFabric(t)
+	dst := fabric.Location{Node: 0, GPU: 3}
+	a := fabric.Location{Node: 0, GPU: 1}
+	b := fabric.Location{Node: 0, GPU: 2}
+	for _, src := range []fabric.Location{a, b} {
+		links, _ := f.SinglePath(src, dst)
+		for _, id := range links {
+			f.Net.FailLink(id)
+		}
+	}
+	if got := ChooseSource(f, dst, []SourceCandidate{{Loc: a}, {Loc: b}}); got != 0 {
+		t.Fatalf("ChooseSource = %d, want 0 (first of all-zero scores)", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Replica registry: the bookkeeping half of fan-out-aware transfer
+// coalescing. Every time a consumer Get materializes an object's bytes on a
+// GPU, the data plane may register that copy here; later consumers of the
+// same object can then pull from the nearest fresh replica instead of
+// re-loading the producer GPU's links.
+//
+// The registry is metadata only — replica bytes are held as cache items in
+// the per-node Managers (see PutCache), which is what ties invalidation into
+// the existing fault paths: store eviction pressure drops cache items (and
+// notifies the plane via OnCacheDrop), and GPU crashes destroy them like any
+// other resident object.
+//
+// Invariants:
+//   - a registered location never duplicates within one object's set;
+//   - locations are kept sorted (node, then GPU), so iteration order — and
+//     therefore replica-aware source selection — is deterministic;
+//   - only GPU locations are registered (host copies are the primary's
+//     eviction home, not replicas);
+//   - an entry is removed the moment its backing bytes become unusable:
+//     object freed, cache item evicted, or GPU crashed.
+package store
+
+import (
+	"sort"
+
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+)
+
+// Registry records the live GPU-resident copies of data objects.
+type Registry struct {
+	locs map[dataplane.DataID][]fabric.Location
+}
+
+// NewRegistry returns an empty replica registry.
+func NewRegistry() *Registry {
+	return &Registry{locs: make(map[dataplane.DataID][]fabric.Location)}
+}
+
+func locLess(a, b fabric.Location) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.GPU < b.GPU
+}
+
+// Add registers a live copy of id at loc. Host locations and duplicates are
+// ignored.
+func (r *Registry) Add(id dataplane.DataID, loc fabric.Location) {
+	if loc.IsHost() || r.Has(id, loc) {
+		return
+	}
+	ls := append(r.locs[id], loc)
+	sort.Slice(ls, func(i, j int) bool { return locLess(ls[i], ls[j]) })
+	r.locs[id] = ls
+}
+
+// Has reports whether a copy of id is registered at loc.
+func (r *Registry) Has(id dataplane.DataID, loc fabric.Location) bool {
+	for _, l := range r.locs[id] {
+		if l == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove drops the copy of id at loc, if registered.
+func (r *Registry) Remove(id dataplane.DataID, loc fabric.Location) {
+	ls := r.locs[id]
+	for i, l := range ls {
+		if l == loc {
+			ls = append(ls[:i], ls[i+1:]...)
+			if len(ls) == 0 {
+				delete(r.locs, id)
+			} else {
+				r.locs[id] = ls
+			}
+			return
+		}
+	}
+}
+
+// DropID removes every copy of id (object freed).
+func (r *Registry) DropID(id dataplane.DataID) { delete(r.locs, id) }
+
+// DropGPU removes every copy resident on the given GPU (crash invalidation)
+// and returns the affected object IDs in ascending order.
+func (r *Registry) DropGPU(node, gpu int) []dataplane.DataID {
+	var ids []dataplane.DataID
+	loc := fabric.Location{Node: node, GPU: gpu}
+	for id := range r.locs {
+		if r.Has(id, loc) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r.Remove(id, loc)
+	}
+	return ids
+}
+
+// Locations returns id's registered copies in deterministic (node, GPU)
+// order. The returned slice is shared; callers must not mutate it.
+func (r *Registry) Locations(id dataplane.DataID) []fabric.Location {
+	return r.locs[id]
+}
+
+// Count returns the number of registered copies of id.
+func (r *Registry) Count(id dataplane.DataID) int { return len(r.locs[id]) }
+
+// Len returns the number of objects with at least one registered copy.
+func (r *Registry) Len() int { return len(r.locs) }

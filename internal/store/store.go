@@ -115,6 +115,12 @@ type Item struct {
 
 	LastAccess  time.Duration
 	ConsumerSeq int64
+	// Cache marks a replica cache entry created by PutCache: a reconstructible
+	// copy of an object whose primary lives elsewhere. Under memory pressure a
+	// cache is dropped (not migrated to host) and the registry is notified.
+	Cache bool
+	// CacheOf is the plane-level DataID the cache replicates (set when Cache).
+	CacheOf dataplane.DataID
 	// migrating guards against concurrent eviction/restoration.
 	migrating bool
 	freed     bool
@@ -134,12 +140,20 @@ type Manager struct {
 	nextID       dataplane.DataID
 
 	// Evictions and Restores count migrations; UsedTL and ReservedTL sample
-	// pool state for Fig. 7(a)/20(c).
+	// pool state for Fig. 7(a)/20(c). CacheDrops counts replica cache entries
+	// discarded under eviction pressure.
 	Evictions  metrics.Counter
 	Restores   metrics.Counter
 	Spills     metrics.Counter
+	CacheDrops metrics.Counter
 	UsedTL     metrics.Timeline
 	ReservedTL metrics.Timeline
+
+	// OnCacheDrop, when non-nil, is invoked whenever eviction pressure drops
+	// a replica cache entry, so the data plane can invalidate its replica
+	// registry. Crash invalidation takes the reverse path (the plane drops the
+	// item), so OnCacheDrop fires only for store-initiated drops.
+	OnCacheDrop func(id dataplane.DataID, gpu int)
 }
 
 type reservation struct {
@@ -269,7 +283,7 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 	// Forced spill to host.
 	blk, err := m.node.Host.Alloc(bytes)
 	if err != nil {
-		return nil, fmt.Errorf("store: spill of %d bytes: %w", bytes, err)
+		return nil, fmt.Errorf("store: spill of %d bytes: %w: %w", bytes, dataplane.ErrEvicted, err)
 	}
 	if tr := obs.TracerOf(m.eng); tr != nil {
 		ev := tr.InstantOn(m.track(), obs.CatStore, "spill")
@@ -284,6 +298,97 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 	m.Spills.Inc()
 	m.sample(p.Now())
 	return it, nil
+}
+
+// PutCache stores a replica cache copy of data object `id` on GPU g. Caches
+// are strictly best-effort: they use room the pool can claim without
+// disturbing primary items — only other caches are dropped to make space —
+// and PutCache returns nil when no such room exists (the transfer still
+// succeeded; there is simply no registered replica). Cache items never count
+// toward pre-warming statistics: they are reconstructible copies, not fresh
+// producer output.
+func (m *Manager) PutCache(p *sim.Proc, id dataplane.DataID, fn string, g int, bytes int64) *Item {
+	if bytes > m.limit(g) {
+		return nil
+	}
+	pool := m.pools[g]
+	for attempt := 0; attempt < 8; attempt++ {
+		if pool.Used()+bytes <= m.limit(g) && bytes <= pool.Idle()+pool.Device().Free() {
+			break
+		}
+		victim := m.pickCacheVictim(g)
+		if victim == nil {
+			return nil
+		}
+		m.dropCache(victim)
+	}
+	if pool.Used()+bytes > m.limit(g) || bytes > pool.Idle()+pool.Device().Free() {
+		return nil
+	}
+	warm, err := pool.Alloc(bytes)
+	if err != nil {
+		return nil
+	}
+	if warm {
+		p.Sleep(memsim.PoolAllocLatency)
+		obs.Account(p, obs.CatSetup, memsim.PoolAllocLatency)
+	} else {
+		p.Sleep(memsim.RawAllocLatency)
+		obs.Account(p, obs.CatSetup, memsim.RawAllocLatency)
+	}
+	m.nextID++
+	it := &Item{
+		ID:         m.nextID,
+		Fn:         fn,
+		Bytes:      bytes,
+		GPU:        g,
+		LastAccess: p.Now(),
+		Cache:      true,
+		CacheOf:    id,
+	}
+	m.items[it.ID] = it
+	m.sample(p.Now())
+	return it
+}
+
+// pickCacheVictim selects the least recently used cache item on GPU g, or
+// nil when the GPU holds no caches.
+func (m *Manager) pickCacheVictim(g int) *Item {
+	var best *Item
+	for _, it := range m.items {
+		if !it.Cache || it.OnHost || it.migrating || it.GPU != g {
+			continue
+		}
+		if best == nil || it.LastAccess < best.LastAccess ||
+			(it.LastAccess == best.LastAccess && it.ID < best.ID) {
+			best = it
+		}
+	}
+	return best
+}
+
+// dropCache discards a replica cache entry under eviction pressure: the pool
+// bytes are released immediately (the primary copy still exists elsewhere, so
+// nothing migrates) and the data plane is notified to invalidate its replica
+// registry.
+func (m *Manager) dropCache(it *Item) {
+	if it.freed {
+		return
+	}
+	it.freed = true
+	delete(m.items, it.ID)
+	m.pools[it.GPU].Release(it.Bytes)
+	m.CacheDrops.Inc()
+	metrics.Coalesce().ReplicasDropped.Add(1)
+	if tr := obs.TracerOf(m.eng); tr != nil {
+		ev := tr.InstantOn(m.track(), obs.CatStore, "cache-drop")
+		tr.SetAttrInt(ev, "bytes", it.Bytes)
+		tr.SetAttrInt(ev, "gpu", int64(it.GPU))
+	}
+	if m.OnCacheDrop != nil {
+		m.OnCacheDrop(it.CacheOf, it.GPU)
+	}
+	m.sample(m.eng.Now())
 }
 
 // track returns the manager's storage trace lane.
@@ -318,7 +423,7 @@ func (m *Manager) Free(it *Item) {
 	}
 	it.freed = true
 	delete(m.items, it.ID)
-	if fs := m.funcs[it.Fn]; fs != nil {
+	if fs := m.funcs[it.Fn]; fs != nil && !it.Cache {
 		fs.live--
 	}
 	if it.OnHost {
@@ -327,7 +432,7 @@ func (m *Manager) Free(it *Item) {
 		return
 	}
 	m.pools[it.GPU].Release(it.Bytes)
-	if m.cfg.Elastic {
+	if m.cfg.Elastic && !it.Cache {
 		m.reserve(it.Fn, it.GPU)
 	}
 	// Static pooling never shrinks (manual reclamation only).
@@ -345,7 +450,7 @@ func (m *Manager) Drop(it *Item) {
 	}
 	it.freed = true
 	delete(m.items, it.ID)
-	if fs := m.funcs[it.Fn]; fs != nil {
+	if fs := m.funcs[it.Fn]; fs != nil && !it.Cache {
 		fs.live--
 	}
 	if it.OnHost {
@@ -368,6 +473,12 @@ func (m *Manager) ensure(p *sim.Proc, g int, bytes int64) bool {
 		if pool.Used()+bytes <= m.limit(g) && bytes <= pool.Idle()+pool.Device().Free() {
 			return true
 		}
+		// Replica caches are the cheapest room: drop them (notifying the
+		// plane's registry) before migrating any primary item to host.
+		if cache := m.pickCacheVictim(g); cache != nil {
+			m.dropCache(cache)
+			continue
+		}
 		victim := m.pickVictim(g)
 		if victim == nil {
 			return false
@@ -377,11 +488,13 @@ func (m *Manager) ensure(p *sim.Proc, g int, bytes int64) bool {
 	return m.pools[g].Used()+bytes <= m.limit(g)
 }
 
-// pickVictim selects an evictable item on GPU g per policy, or nil.
+// pickVictim selects an evictable primary item on GPU g per policy, or nil.
+// Replica caches are never migration victims — they are dropped outright by
+// pickCacheVictim/dropCache before this runs.
 func (m *Manager) pickVictim(g int) *Item {
 	var best *Item
 	for _, it := range m.items {
-		if it.OnHost || it.migrating || it.GPU != g {
+		if it.Cache || it.OnHost || it.migrating || it.GPU != g {
 			continue
 		}
 		if best == nil {

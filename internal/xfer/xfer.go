@@ -438,7 +438,15 @@ func SplitBytes(bytes int64, paths []Path, chunk int64) []int64 {
 	assigned := int64(0)
 	for i, p := range paths {
 		share := int64(float64(bytes) * p.Bps / total)
-		share -= share % chunk
+		if chunk > 0 {
+			share -= share % chunk
+		}
+		// Float rounding on large payloads can push the proportional shares
+		// past the total; clamp so the sum never exceeds bytes (a negative
+		// remainder would starve — or go negative on — the fastest path).
+		if rest := bytes - assigned; share > rest {
+			share = rest
+		}
 		out[i] = share
 		assigned += share
 	}
