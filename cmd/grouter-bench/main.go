@@ -29,10 +29,18 @@ func main() {
 	faultStats := flag.Bool("faultstats", false, "print fault-injection and recovery counters after the runs")
 	spanStats := flag.Bool("span-stats", false, "print a per-request critical-path latency breakdown and exit")
 	fanout := flag.Bool("fanout", false, "run the fan-out coalescing experiment (shorthand for -run ext-fanout)")
+	scale := flag.Bool("scale", false, "run the full-size scale replay (ext-scale at -scale-requests) and exit")
+	scaleRequests := flag.Int("scale-requests", 100_000, "request count for the largest -scale replays")
 	flag.Parse()
 
 	if *spanStats {
 		fmt.Println(experiments.SpanStatsTable().Format())
+		return
+	}
+	if *scale {
+		// Everything in the table is measured in virtual time, so this
+		// output is byte-identical across runs (no wall-clock footer).
+		fmt.Println(experiments.ScaleTable(*scaleRequests).Format())
 		return
 	}
 	if *fanout {

@@ -69,6 +69,10 @@ type (
 	Runtime = cluster.Cluster
 	// App is one deployed workflow application on a Runtime.
 	App = cluster.App
+	// ReplayOptions configures App.ReplayTrace's batched arrival admission.
+	ReplayOptions = cluster.ReplayOptions
+	// ReplayStats summarizes one replayed trace in virtual time.
+	ReplayStats = cluster.ReplayStats
 	// Workflow is a DAG of serverless function stages.
 	Workflow = workflow.Workflow
 	// PlaceOptions constrains where a workflow's stages are placed.

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"grouter/internal/obs"
-	"grouter/internal/scheduler"
 )
 
 // RequestBreakdown attributes one request's end-to-end latency to the
@@ -41,20 +40,17 @@ func (a *App) EnableBreakdown() *Breakdown {
 }
 
 // instTrace is the per-stage-instance working state of one traced request.
+// Instances are identified by their index in the app's execution plan, so a
+// traced request allocates no per-request maps.
 type instTrace struct {
 	buckets *obs.Buckets
 	readyAt time.Duration // all input futures resolved
 	doneAt  time.Duration // output resolved
-	// crit is the input producer whose completion gated readyAt (the
-	// instance's critical predecessor); hasCrit is false for source stages.
-	crit    scheduler.StageInst
+	// crit is the plan index of the input producer whose completion gated
+	// readyAt (the instance's critical predecessor); hasCrit is false for
+	// source stages.
+	crit    int
 	hasCrit bool
-}
-
-// reqTrace is the working state of one traced request.
-type reqTrace struct {
-	start time.Duration
-	insts map[scheduler.StageInst]*instTrace
 }
 
 // record finalizes one request: it walks the critical chain backwards from
@@ -66,11 +62,11 @@ type reqTrace struct {
 // same virtual instant its critical predecessor resolves, source instances
 // become ready at the request start, and the last instance finishes at the
 // request end — so the recorded bucket sum equals the end-to-end latency.
-func (b *Breakdown) record(rt *reqTrace, last scheduler.StageInst, seq int64, end time.Duration) {
-	rb := RequestBreakdown{Seq: seq, Start: rt.start, End: end}
+func (b *Breakdown) record(st *reqState, last int, end time.Duration) {
+	rb := RequestBreakdown{Seq: st.seq, Start: st.start, End: end}
 	cur := last
 	for {
-		it := rt.insts[cur]
+		it := &st.insts[cur]
 		window := it.doneAt - it.readyAt
 		var acct time.Duration
 		for c, d := range it.buckets.D {
@@ -84,7 +80,7 @@ func (b *Breakdown) record(rt *reqTrace, last scheduler.StageInst, seq int64, en
 			// Source instance: any gap back to the request start (none in
 			// the current runtime, which starts sources immediately) is
 			// unattributed.
-			if gap := it.readyAt - rt.start; gap > 0 {
+			if gap := it.readyAt - st.start; gap > 0 {
 				rb.Buckets[obs.CatOther] += gap
 			}
 			break

@@ -145,6 +145,11 @@ type App struct {
 	// Breakdown, when non-nil, records a per-request critical-path latency
 	// attribution (see EnableBreakdown).
 	Breakdown *Breakdown
+
+	// reqPlan is the request-invariant execution plan (see plan.go) and
+	// freeStates the pool of recycled per-request working states.
+	reqPlan    *invokePlan
+	freeStates []*reqState
 }
 
 // Deploy places wf's instances and returns the app. batch <= 0 uses the
@@ -184,208 +189,12 @@ type instIn struct {
 func (a *App) Invoke() *sim.Signal { return a.InvokeBatch(a.Batch) }
 
 // InvokeBatch starts one request with an explicit batch size (used by the
-// adaptive batcher, which aggregates queued logical requests).
+// adaptive batcher, which aggregates queued logical requests). The request
+// executes on the plan-based fast path (see plan.go).
 func (a *App) InvokeBatch(batch int) *sim.Signal {
-	if batch <= 0 {
-		batch = a.Batch
-	}
-	c := a.C
-	c.seq++
-	seq := c.seq
-	done := sim.NewSignal(c.Engine)
-	start := c.Engine.Now()
-	rng := rand.New(rand.NewSource(a.seedBase + seq))
-
-	tr := obs.TracerOf(c.Engine)
-	reqSpan := tr.BeginOn(obs.ReqTrack(seq), obs.CatRequest, a.WF.Name)
-	tr.SetAttrInt(reqSpan, "seq", seq)
-	tr.SetAttrInt(reqSpan, "batch", int64(batch))
-	var rt *reqTrace
-	if a.Breakdown != nil {
-		rt = &reqTrace{start: start, insts: map[scheduler.StageInst]*instTrace{}}
-	}
-
-	// Per-instance output futures.
-	outs := map[scheduler.StageInst]*sim.Future[dataplane.DataRef]{}
-	// Remaining consumer counts per producer instance, for Free.
-	refCount := map[scheduler.StageInst]*int{}
-	total := 0
-	for _, s := range a.WF.Stages {
-		for r := 0; r < s.ReplicaCount(); r++ {
-			si := scheduler.StageInst{Stage: s.Name, Replica: r}
-			outs[si] = sim.NewFuture[dataplane.DataRef](c.Engine)
-			n := 0
-			refCount[si] = &n
-			total++
-			if rt != nil {
-				rt.insts[si] = &instTrace{buckets: obs.NewBuckets()}
-			}
-		}
-	}
-	// Count consumers.
-	for _, s := range a.WF.Stages {
-		for r := 0; r < s.ReplicaCount(); r++ {
-			for _, in := range a.inputsOf(s, r) {
-				(*refCount[in.prod])++
-			}
-		}
-	}
-
-	remaining := total
-	var xferGPU, xferHost, compute time.Duration
-
-	for _, s := range a.WF.Stages {
-		s := s
-		for r := 0; r < s.ReplicaCount(); r++ {
-			si := scheduler.StageInst{Stage: s.Name, Replica: r}
-			loc, poolIdx := a.instanceFor(si, seq)
-			name := fmt.Sprintf("%s/%s.%d", a.WF.Name, si, seq)
-			c.Engine.Go(name, func(p *sim.Proc) {
-				inputs := a.resolveInputs(p, s, r, outs)
-				var it *instTrace
-				if rt != nil {
-					// All input futures have resolved, so every producer's
-					// doneAt is final; the one that resolved last is this
-					// instance's critical predecessor.
-					it = rt.insts[si]
-					it.readyAt = p.Now()
-					for _, in := range inputs {
-						if !it.hasCrit || rt.insts[in.prod].doneAt > rt.insts[it.crit].doneAt {
-							it.crit, it.hasCrit = in.prod, true
-						}
-					}
-					obs.UseBuckets(p, it.buckets)
-				}
-				skipped := rng.Float64() >= s.ProbOrOne()
-
-				lat := s.Model.Latency(c.Class, batch)
-				// GPU source stages fetch their request payload from host
-				// memory (I/O lands in the host-side store): the gFn-host
-				// ingress pattern of §2.2.
-				var ingress dataplane.DataRef
-				if len(s.Deps) == 0 && s.IsGPU() && !skipped {
-					ingressCtx := &dataplane.FnCtx{
-						Fn: a.WF.Name + "/ingress", Workflow: a.WF.Name,
-						Loc:         fabric.Location{Node: loc.Node, GPU: fabric.HostGPU},
-						ConsumerSeq: seq,
-					}
-					ref, err := c.Plane.Put(p, ingressCtx, s.Model.InBytes(batch))
-					if err != nil {
-						panic(err)
-					}
-					ingress = ref
-				}
-				ctx := &dataplane.FnCtx{
-					Fn:           a.WF.Name + "/" + s.Name,
-					Workflow:     a.WF.Name,
-					Loc:          loc,
-					SLO:          a.WF.StageSLO(s, c.Class, batch),
-					InferLatency: lat,
-					ConsumerSeq:  seq,
-				}
-
-				// A function instance occupies its compute slot for its whole
-				// activation — pulling inputs, computing, and publishing its
-				// output — matching time-multiplexed serverless GPU sharing,
-				// where a container's transfers run within its execution
-				// turn. Input futures are awaited *before* acquisition, so
-				// there is no hold-and-wait cycle.
-				out := dataplane.DataRef{}
-				if !skipped {
-					res := c.resourceAt(loc)
-					qStart := p.Now()
-					res.Acquire(p)
-					obs.Account(p, obs.CatQueue, p.Now()-qStart)
-					wStart := p.Now()
-					a.ensureWarm(p, si, poolIdx, s.Model.WeightsBytes)
-					obs.Account(p, obs.CatSetup, p.Now()-wStart)
-					if ingress.Bytes > 0 {
-						t0 := p.Now()
-						if err := c.Plane.Get(p, ctx, ingress); err != nil {
-							panic(err)
-						}
-						xferHost += p.Now() - t0
-						c.Plane.Free(ingress)
-					}
-					for _, in := range inputs {
-						if in.ref.Bytes == 0 {
-							continue
-						}
-						t0 := p.Now()
-						if err := c.Plane.Get(p, ctx, in.ref); err != nil {
-							panic(err)
-						}
-						dt := p.Now() - t0
-						switch in.kind {
-						case EdgeGPUGPU:
-							xferGPU += dt
-						case EdgeGPUHost:
-							xferHost += dt
-						}
-					}
-					cs := tr.BeginOn(obs.ReqTrack(seq), obs.CatCompute, s.Name)
-					p.Sleep(lat)
-					tr.End(cs)
-					obs.Account(p, obs.CatCompute, lat)
-					compute += lat
-					if len(a.WF.Consumers(s)) > 0 {
-						t0 := p.Now()
-						ref, err := c.Plane.Put(p, ctx, s.Model.OutBytes(batch))
-						if err != nil {
-							panic(err)
-						}
-						dt := p.Now() - t0
-						switch a.putKind(s) {
-						case EdgeGPUGPU:
-							xferGPU += dt
-						case EdgeGPUHost:
-							xferHost += dt
-						}
-						out = ref
-					}
-					res.Release()
-				}
-				// Release inputs whether consumed or skipped.
-				for _, in := range inputs {
-					cnt := refCount[in.prod]
-					*cnt--
-					if *cnt == 0 && in.ref.Bytes > 0 {
-						c.Plane.Free(in.ref)
-					}
-				}
-				if it != nil {
-					// doneAt must be final before the future resolves: a
-					// consumer woken by Resolve reads it when picking its
-					// critical predecessor.
-					it.doneAt = p.Now()
-					obs.UseBuckets(p, nil)
-				}
-				outs[si].Resolve(out)
-				remaining--
-				if remaining == 0 {
-					end := p.Now()
-					a.E2E.Add(end - start)
-					a.XferGPU.Add(xferGPU)
-					a.XferHost.Add(xferHost)
-					a.Compute.Add(compute)
-					a.Completed++
-					tr.End(reqSpan)
-					if rt != nil {
-						a.Breakdown.record(rt, si, seq, end)
-					}
-					done.Fire()
-				}
-			})
-		}
-	}
+	done := sim.NewSignal(a.C.Engine)
+	a.start(batch, done)
 	return done
-}
-
-// resolvedInput pairs a materialized ref with its edge classification.
-type resolvedInput struct {
-	ref  dataplane.DataRef
-	prod scheduler.StageInst
-	kind EdgeKind
 }
 
 // inputsOf lists the producer instances feeding replica r of stage s.
@@ -401,17 +210,6 @@ func (a *App) inputsOf(s *workflow.Stage, r int) []instIn {
 		for i := 0; i < d.ReplicaCount(); i++ {
 			out = append(out, instIn{prod: scheduler.StageInst{Stage: dn, Replica: i}, kind: kind})
 		}
-	}
-	return out
-}
-
-// resolveInputs blocks until every dependency future resolves.
-func (a *App) resolveInputs(p *sim.Proc, s *workflow.Stage, r int,
-	outs map[scheduler.StageInst]*sim.Future[dataplane.DataRef]) []resolvedInput {
-	var out []resolvedInput
-	for _, in := range a.inputsOf(s, r) {
-		ref := outs[in.prod].Wait(p)
-		out = append(out, resolvedInput{ref: ref, prod: in.prod, kind: in.kind})
 	}
 	return out
 }
@@ -445,12 +243,11 @@ func (c *Cluster) resourceAt(loc fabric.Location) *sim.Resource {
 
 // RunTrace submits one request per arrival offset and returns when the
 // engine has drained (call from outside the engine; it runs the engine).
+// No submitter waits per request, so the completion signal is elided. It is
+// ReplayTrace with per-arrival admission and the stats discarded; use
+// ReplayTrace directly for batched admission or the summary.
 func (a *App) RunTrace(arrivals []time.Duration) {
-	for _, at := range arrivals {
-		at := at
-		a.C.Engine.Schedule(at, func() { a.Invoke() })
-	}
-	a.C.Engine.Run(0)
+	a.ReplayTrace(arrivals, ReplayOptions{})
 }
 
 // MeasureThroughput runs `concurrency` closed loops for dur of virtual time

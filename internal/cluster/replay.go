@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"time"
+
+	"grouter/internal/sim"
+)
+
+// ReplayOptions configures App.ReplayTrace.
+type ReplayOptions struct {
+	// Quantum groups arrivals into fixed admission windows: every request
+	// whose offset falls inside a window is admitted together at the
+	// window's closing edge by a single feeder process. Batched admission
+	// amortizes per-request control work — the engine pays one timer per
+	// window instead of one per arrival, and the autoscaler and placer see
+	// whole batches instead of reacting to each request. Zero (or negative)
+	// replays every arrival at its exact offset.
+	Quantum time.Duration
+}
+
+// ReplayStats summarizes one replayed trace in virtual time.
+type ReplayStats struct {
+	Requests  int
+	Completed int
+	// Duration spans replay start to engine drain.
+	Duration time.Duration
+	// Throughput is completed requests per second of virtual time.
+	Throughput float64
+	P50, P99   time.Duration
+}
+
+// ReplayTrace submits every arrival (offsets relative to now, sorted
+// ascending) and runs the engine until it drains, returning summary stats.
+// With a positive Quantum, arrivals are admitted in batches at window
+// boundaries; admission order within a batch follows trace order, so the
+// replay stays deterministic. Percentiles cover every sample the app has
+// recorded, so call this on a freshly deployed app for per-replay numbers.
+func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplayStats {
+	e := a.C.Engine
+	base := e.Now()
+	before := a.Completed
+	if opt.Quantum <= 0 {
+		e.Reserve(len(arrivals) + 64)
+		for _, at := range arrivals {
+			at := at
+			e.Schedule(at, func() { a.start(a.Batch, nil) })
+		}
+	} else if len(arrivals) > 0 {
+		q := opt.Quantum
+		e.Go("replay-feeder", func(p *sim.Proc) {
+			i := 0
+			for i < len(arrivals) {
+				// Close of the window holding the next pending arrival.
+				win := (arrivals[i]/q + 1) * q
+				if wait := base + win - p.Now(); wait > 0 {
+					p.Sleep(wait)
+				}
+				for i < len(arrivals) && arrivals[i] < win {
+					a.start(a.Batch, nil)
+					i++
+				}
+			}
+		})
+	}
+	e.Run(0)
+	st := ReplayStats{
+		Requests:  len(arrivals),
+		Completed: a.Completed - before,
+		Duration:  e.Now() - base,
+		P50:       a.E2E.P(0.5),
+		P99:       a.E2E.P(0.99),
+	}
+	if st.Duration > 0 {
+		st.Throughput = float64(st.Completed) / st.Duration.Seconds()
+	}
+	return st
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+// scaleArrivals generates the canonical scale-replay schedule: a bursty
+// Azure-pattern trace sized to ~`requests` arrivals at 500 req/s mean.
+func scaleArrivals(requests int) []time.Duration {
+	return trace.Generate(trace.Spec{
+		Pattern:  trace.Bursty,
+		Duration: time.Duration(float64(requests) / 500 * float64(time.Second)),
+		MeanRPS:  500,
+		Seed:     42,
+	})
+}
+
+// BenchmarkScaleReplay replays a ~100k-request bursty trace (5k under
+// -short) through the driving workflow split across a 2-node DGX-V100
+// cluster. It is the acceptance benchmark for the engine/cluster/netsim
+// fast path; before/after numbers live in EXPERIMENTS.md.
+func BenchmarkScaleReplay(b *testing.B) {
+	requests := 100_000
+	if testing.Short() {
+		requests = 5_000
+	}
+	arrivals := scaleArrivals(requests)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		c := New(e, topology.DGXV100(), 2, grouterPlane)
+		app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0, SplitAcrossNodes: true})
+		app.EnableAutoscale(DefaultAutoscale())
+		app.RunTrace(arrivals)
+		if app.Completed != len(arrivals) {
+			b.Fatalf("completed %d of %d", app.Completed, len(arrivals))
+		}
+		e.Close()
+	}
+}

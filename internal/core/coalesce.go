@@ -129,7 +129,7 @@ func (pl *Plane) crashReplicas(node, gpu int) int {
 // getCoalesced serves one Get with fan-out-aware coalescing. The caller has
 // already authenticated the request and paid the lookup latency; span is the
 // Get's open trace span (zero when tracing is off).
-func (pl *Plane) getCoalesced(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef, r *rec, tr *obs.Tracer, span obs.SpanID) error {
+func (pl *Plane) getCoalesced(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef, r *rec, label string, tr *obs.Tracer, span obs.SpanID) error {
 	id, dst := ref.ID, ctx.Loc
 	source := func(kind string) {
 		if tr != nil {
@@ -248,7 +248,7 @@ func (pl *Plane) getCoalesced(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.D
 		pl.stats.Coalesce.OriginGets++
 	}
 	source(kind)
-	if moveErr = pl.move(p, ctx, src, dst, r.bytes, "get:"+ctx.Fn); moveErr != nil {
+	if moveErr = pl.move(p, ctx, src, dst, r.bytes, label); moveErr != nil {
 		return moveErr
 	}
 	if kind == "origin" {

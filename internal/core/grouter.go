@@ -116,6 +116,9 @@ type Plane struct {
 	recs   map[dataplane.DataID]*rec
 	nextID dataplane.DataID
 	rng    *rand.Rand
+	// recArena blocks amortize rec allocation (one rec per Put); freed recs
+	// are simply dropped, so lifetimes match individually-allocated recs.
+	recArena []rec
 	// localTables[n] holds the data IDs whose metadata has been synchronized
 	// to node n (§4.2.2/§7: lookups hit the local table, falling back to the
 	// global table once and caching the result).
@@ -165,6 +168,18 @@ func New(f *fabric.Fabric, cfg Config) *Plane {
 	return pl
 }
 
+// newRec hands out table entries from a block arena. Blocks are never
+// recycled — a freed rec just goes unreferenced — so pointer lifetimes are
+// identical to individually-allocated recs.
+func (pl *Plane) newRec() *rec {
+	if len(pl.recArena) == 0 {
+		pl.recArena = make([]rec, 256)
+	}
+	r := &pl.recArena[0]
+	pl.recArena = pl.recArena[1:]
+	return r
+}
+
 func (pl *Plane) storeConfig() store.Config {
 	if pl.cfg.StoreOverride != nil {
 		return *pl.cfg.StoreOverride
@@ -212,8 +227,12 @@ func (pl *Plane) Store(n int) *store.Manager { return pl.stores[n] }
 // spilling to host memory, and xfer.ErrDeadline when a placement-agnostic
 // copy misses its SLO budget.
 func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.DataRef, error) {
+	// The label only feeds trace spans; with no tracer attached, skip the
+	// per-call string construction.
+	label := ""
 	if tr := obs.TracerOf(pl.f.Engine); tr != nil {
-		span := tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "put:"+ctx.Fn)
+		label = "put:" + ctx.Fn
+		span := tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, label)
 		tr.SetAttrInt(span, "bytes", bytes)
 		defer tr.End(span)
 	}
@@ -230,7 +249,9 @@ func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.
 		}
 		p.Sleep(memsim.PoolAllocLatency)
 		obs.Account(p, obs.CatSetup, memsim.PoolAllocLatency)
-		pl.recs[id] = &rec{node: node, hostBlk: blk, bytes: bytes, workflow: ctx.Workflow}
+		r := pl.newRec()
+		*r = rec{node: node, hostBlk: blk, bytes: bytes, workflow: ctx.Workflow}
+		pl.recs[id] = r
 		pl.localTables[node][id] = true
 		return dataplane.DataRef{ID: id, Bytes: bytes}, nil
 	}
@@ -251,13 +272,15 @@ func (pl *Plane) Put(p *sim.Proc, ctx *dataplane.FnCtx, bytes int64) (dataplane.
 			dst = fabric.Location{Node: node, GPU: fabric.HostGPU}
 		}
 		if dst != ctx.Loc {
-			if err := pl.move(p, ctx, ctx.Loc, dst, bytes, fmt.Sprintf("put:%s", ctx.Fn)); err != nil {
+			if err := pl.move(p, ctx, ctx.Loc, dst, bytes, label); err != nil {
 				pl.stores[node].Free(it)
 				return dataplane.DataRef{}, fmt.Errorf("grouter: put copy: %w", err)
 			}
 		}
 	}
-	pl.recs[id] = &rec{node: node, it: it, bytes: bytes, workflow: ctx.Workflow}
+	r := pl.newRec()
+	*r = rec{node: node, it: it, bytes: bytes, workflow: ctx.Workflow}
+	pl.recs[id] = r
 	pl.localTables[node][id] = true
 	return dataplane.DataRef{ID: id, Bytes: bytes}, nil
 }
@@ -280,9 +303,11 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 	}
 	pl.stats.Gets++
 	tr := obs.TracerOf(pl.f.Engine)
+	label := ""
 	var span obs.SpanID
 	if tr != nil {
-		span = tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, "get:"+ctx.Fn)
+		label = "get:" + ctx.Fn
+		span = tr.BeginOn(obs.ReqTrack(ctx.ConsumerSeq), obs.CatOp, label)
 		tr.SetAttrInt(span, "bytes", ref.Bytes)
 		defer tr.End(span)
 	}
@@ -301,7 +326,7 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 	}
 
 	if pl.cfg.Coalesce {
-		return pl.getCoalesced(p, ctx, ref, r, tr, span)
+		return pl.getCoalesced(p, ctx, ref, r, label, tr, span)
 	}
 
 	if r.lost {
@@ -318,7 +343,7 @@ func (pl *Plane) Get(p *sim.Proc, ctx *dataplane.FnCtx, ref dataplane.DataRef) e
 		obs.Account(p, obs.CatSetup, MapLatency)
 		return nil
 	}
-	return pl.move(p, ctx, src, ctx.Loc, r.bytes, fmt.Sprintf("get:%s", ctx.Fn))
+	return pl.move(p, ctx, src, ctx.Loc, r.bytes, label)
 }
 
 // rematerialize recovers a crash-lost object from its durable origin into
@@ -486,8 +511,9 @@ func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Locatio
 		// gFn-host (inbound): parallel PCIe staging through the pinned ring.
 		req.Pinned = pl.f.NodeF(src.Node).Pinned
 		return transfer(func() []xfer.Path {
-			var paths []xfer.Path
-			for _, ls := range harvest.HostToGPUPaths(pl.f.Topo(src.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
+			lps := harvest.HostToGPUPaths(pl.f.Topo(src.Node), dst.GPU, pl.harvestMode(), pl.f.Net)
+			paths := make([]xfer.Path, 0, len(lps))
+			for _, ls := range lps {
 				paths = append(paths, xfer.PathOf(pl.f.Net, ls))
 			}
 			return paths
@@ -496,8 +522,9 @@ func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Locatio
 	case src.Node == dst.Node && dst.IsHost():
 		req.Pinned = pl.f.NodeF(src.Node).Pinned
 		return transfer(func() []xfer.Path {
-			var paths []xfer.Path
-			for _, ls := range harvest.GPUToHostPaths(pl.f.Topo(src.Node), src.GPU, pl.harvestMode(), pl.f.Net) {
+			lps := harvest.GPUToHostPaths(pl.f.Topo(src.Node), src.GPU, pl.harvestMode(), pl.f.Net)
+			paths := make([]xfer.Path, 0, len(lps))
+			for _, ls := range lps {
 				paths = append(paths, xfer.PathOf(pl.f.Net, ls))
 			}
 			return paths
@@ -506,8 +533,9 @@ func (pl *Plane) move(p *sim.Proc, ctx *dataplane.FnCtx, src, dst fabric.Locatio
 	case !src.IsHost() && !dst.IsHost():
 		// Cross-node gFn-gFn: GDR, multiple NICs when harvesting.
 		return transfer(func() []xfer.Path {
-			var paths []xfer.Path
-			for _, ls := range harvest.CrossNodePaths(pl.f.Topo(src.Node), src.GPU, pl.f.Topo(dst.Node), dst.GPU, pl.harvestMode(), pl.f.Net) {
+			lps := harvest.CrossNodePaths(pl.f.Topo(src.Node), src.GPU, pl.f.Topo(dst.Node), dst.GPU, pl.harvestMode(), pl.f.Net)
+			paths := make([]xfer.Path, 0, len(lps))
+			for _, ls := range lps {
 				paths = append(paths, xfer.PathOf(pl.f.Net, ls))
 			}
 			return paths

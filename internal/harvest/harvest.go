@@ -34,6 +34,27 @@ const (
 // considered occupied and skipped (idle-link harvesting only).
 const busyFraction = 0.8
 
+// switchSet is a small-integer set over PCIe switch / NIC / GPU indices
+// (all bounded by the per-node GPU count), replacing per-call map
+// allocations on the path-building hot path.
+type switchSet uint64
+
+func (s *switchSet) add(i int)     { *s |= 1 << uint(i) }
+func (s switchSet) has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// joinLinks concatenates link paths into one exactly-sized slice.
+func joinLinks(segs ...[]topology.LinkID) []topology.LinkID {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	out := make([]topology.LinkID, 0, n)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
 // idleIn reports whether a link has meaningful spare capacity.
 func idleIn(net *netsim.Network, id topology.LinkID) bool {
 	if net == nil {
@@ -50,12 +71,14 @@ func idleIn(net *netsim.Network, id topology.LinkID) bool {
 // memory. The first path is always g's own PCIe route; harvested routes
 // follow. net (optional) filters busy route links.
 func GPUToHostPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) [][]topology.LinkID {
-	paths := [][]topology.LinkID{node.GPUToHostLinks(g)}
 	if mode == ModeOff {
-		return paths
+		return [][]topology.LinkID{node.GPUToHostLinks(g)}
 	}
 	spec := node.Spec
-	usedSwitch := map[int]bool{spec.PCIeGroup[g]: true}
+	paths := make([][]topology.LinkID, 1, spec.NumGPUs)
+	paths[0] = node.GPUToHostLinks(g)
+	var usedSwitch switchSet
+	usedSwitch.add(spec.PCIeGroup[g])
 	for r := 0; r < spec.NumGPUs; r++ {
 		if r == g {
 			continue
@@ -66,24 +89,23 @@ func GPUToHostPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) 
 			if !linked {
 				continue // no NVLink: borrowing would double-cross g's PCIe
 			}
-			if usedSwitch[spec.PCIeGroup[r]] {
+			if usedSwitch.has(spec.PCIeGroup[r]) {
 				continue // switch already contributes one uplink
 			}
 			uplink := node.PCIeSwitchUp(spec.PCIeGroup[r])
 			if !idleIn(net, uplink) || !idleIn(net, node.PCIeGPUUp(r)) {
 				continue
 			}
-			usedSwitch[spec.PCIeGroup[r]] = true
-			path := append(node.NVLinkPathLinks([]int{g, r}), node.GPUToHostLinks(r)...)
-			paths = append(paths, path)
+			usedSwitch.add(spec.PCIeGroup[r])
+			paths = append(paths, joinLinks(node.NVLinkPairLinks(g, r), node.GPUToHostLinks(r)))
 		case ModeNaive:
 			// DeepPlan-style: any peer, reached over NVLink when present and
 			// over PCIe peer-to-peer when not (congesting g's own link).
 			var path []topology.LinkID
 			if linked {
-				path = append(node.NVLinkPathLinks([]int{g, r}), node.GPUToHostLinks(r)...)
+				path = joinLinks(node.NVLinkPairLinks(g, r), node.GPUToHostLinks(r))
 			} else {
-				path = append(append([]topology.LinkID{}, node.PCIeP2PLinks(g, r)...), node.GPUToHostLinks(r)...)
+				path = joinLinks(node.PCIeP2PLinks(g, r), node.GPUToHostLinks(r))
 			}
 			paths = append(paths, path)
 		}
@@ -93,12 +115,14 @@ func GPUToHostPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) 
 
 // HostToGPUPaths mirrors GPUToHostPaths for host→GPU staging.
 func HostToGPUPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) [][]topology.LinkID {
-	paths := [][]topology.LinkID{node.HostToGPULinks(g)}
 	if mode == ModeOff {
-		return paths
+		return [][]topology.LinkID{node.HostToGPULinks(g)}
 	}
 	spec := node.Spec
-	usedSwitch := map[int]bool{spec.PCIeGroup[g]: true}
+	paths := make([][]topology.LinkID, 1, spec.NumGPUs)
+	paths[0] = node.HostToGPULinks(g)
+	var usedSwitch switchSet
+	usedSwitch.add(spec.PCIeGroup[g])
 	for r := 0; r < spec.NumGPUs; r++ {
 		if r == g {
 			continue
@@ -106,22 +130,21 @@ func HostToGPUPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) 
 		linked := spec.NVLinkBps(r, g) > 0
 		switch mode {
 		case ModeTopoAware:
-			if !linked || usedSwitch[spec.PCIeGroup[r]] {
+			if !linked || usedSwitch.has(spec.PCIeGroup[r]) {
 				continue
 			}
 			downlink := node.PCIeSwitchDown(spec.PCIeGroup[r])
 			if !idleIn(net, downlink) || !idleIn(net, node.PCIeGPUDown(r)) {
 				continue
 			}
-			usedSwitch[spec.PCIeGroup[r]] = true
-			path := append(append([]topology.LinkID{}, node.HostToGPULinks(r)...), node.NVLinkPathLinks([]int{r, g})...)
-			paths = append(paths, path)
+			usedSwitch.add(spec.PCIeGroup[r])
+			paths = append(paths, joinLinks(node.HostToGPULinks(r), node.NVLinkPairLinks(r, g)))
 		case ModeNaive:
 			var path []topology.LinkID
 			if linked {
-				path = append(append([]topology.LinkID{}, node.HostToGPULinks(r)...), node.NVLinkPathLinks([]int{r, g})...)
+				path = joinLinks(node.HostToGPULinks(r), node.NVLinkPairLinks(r, g))
 			} else {
-				path = append(append([]topology.LinkID{}, node.HostToGPULinks(r)...), node.PCIeP2PLinks(r, g)...)
+				path = joinLinks(node.HostToGPULinks(r), node.PCIeP2PLinks(r, g))
 			}
 			paths = append(paths, path)
 		}
@@ -137,22 +160,25 @@ func HostToGPUPaths(node *topology.Node, g int, mode Mode, net *netsim.Network) 
 func CrossNodePaths(src *topology.Node, sg int, dst *topology.Node, dg int, mode Mode, net *netsim.Network) [][]topology.LinkID {
 	spec := src.Spec
 	own := directNICPath(src, sg, dst, dg)
-	paths := [][]topology.LinkID{own}
 	if mode == ModeOff {
-		return paths
+		return [][]topology.LinkID{own}
 	}
-	usedNIC := map[int]bool{spec.GPUNIC[sg]: true}
+	paths := make([][]topology.LinkID, 1, spec.NumGPUs)
+	paths[0] = own
+	var usedNIC switchSet
+	usedNIC.add(spec.GPUNIC[sg])
 	// Landing GPUs receive a chunk stream through their own PCIe x16 and
 	// forward it to dg over NVLink, so each landing must be distinct or the
 	// aggregation collapses onto one link (Fig. 9a aggregates "on the
 	// destination GPU via NVLink" from distinct peers).
-	usedLanding := map[int]bool{dg: true}
+	var usedLanding switchSet
+	usedLanding.add(dg)
 	for r := 0; r < spec.NumGPUs; r++ {
 		if r == sg {
 			continue
 		}
 		nic := spec.GPUNIC[r]
-		if usedNIC[nic] {
+		if usedNIC.has(nic) {
 			continue
 		}
 		linked := spec.NVLinkBps(sg, r) > 0
@@ -168,12 +194,12 @@ func CrossNodePaths(src *topology.Node, sg int, dst *topology.Node, dg int, mode
 		// the NIC) when it has NVLink to dg, otherwise any unused NVLink
 		// neighbor of dg.
 		landing := -1
-		if r < dst.Spec.NumGPUs && !usedLanding[r] &&
+		if r < dst.Spec.NumGPUs && !usedLanding.has(r) &&
 			(r == dg || dst.Spec.NVLinkBps(r, dg) > 0) {
 			landing = r
 		} else if mode == ModeTopoAware {
 			for _, cand := range dst.Spec.NVNeighbors(dg) {
-				if !usedLanding[cand] {
+				if !usedLanding.has(cand) {
 					landing = cand
 					break
 				}
@@ -184,24 +210,23 @@ func CrossNodePaths(src *topology.Node, sg int, dst *topology.Node, dg int, mode
 		if landing < 0 {
 			continue
 		}
-		usedNIC[nic] = true
-		usedLanding[landing] = true
-		var path []topology.LinkID
+		usedNIC.add(nic)
+		usedLanding.add(landing)
+		var hop []topology.LinkID
 		if linked {
-			path = append(path, src.NVLinkPathLinks([]int{sg, r})...)
+			hop = src.NVLinkPairLinks(sg, r)
 		} else {
-			path = append(path, src.PCIeP2PLinks(sg, r)...)
+			hop = src.PCIeP2PLinks(sg, r)
 		}
-		path = append(path, src.GPUToNICLinks(r, nic)...)
-		path = append(path, dst.NICToGPULinks(nic, landing)...)
+		var final []topology.LinkID
 		if landing != dg {
 			if dst.Spec.NVLinkBps(landing, dg) > 0 {
-				path = append(path, dst.NVLinkPathLinks([]int{landing, dg})...)
+				final = dst.NVLinkPairLinks(landing, dg)
 			} else {
-				path = append(path, dst.PCIeP2PLinks(landing, dg)...)
+				final = dst.PCIeP2PLinks(landing, dg)
 			}
 		}
-		paths = append(paths, path)
+		paths = append(paths, joinLinks(hop, src.GPUToNICLinks(r, nic), dst.NICToGPULinks(nic, landing), final))
 	}
 	return paths
 }
@@ -213,8 +238,7 @@ func directNICPath(src *topology.Node, sg int, dst *topology.Node, dg int) []top
 	if rnic >= dst.Spec.NICCount {
 		rnic = dst.Spec.NICCount - 1
 	}
-	path := append([]topology.LinkID{}, src.GPUToNICLinks(sg, nic)...)
-	return append(path, dst.NICToGPULinks(rnic, dg)...)
+	return joinLinks(src.GPUToNICLinks(sg, nic), dst.NICToGPULinks(rnic, dg))
 }
 
 // Options builds the rate-control constraints for a transfer with the given

@@ -64,11 +64,13 @@ type Network struct {
 	seq   int64
 
 	// Single outstanding allocator event: the debounce for mutation bursts
-	// and the next projected completion share one engine timer. eventGen
-	// lazily invalidates superseded timers still in the engine heap.
+	// and the next projected completion share one engine timer. Superseded
+	// timers still in the engine heap detect staleness by comparing their
+	// fire instant against eventAt (see fireTimer). timerFn is the one timer
+	// callback, allocated once — scheduling an event captures nothing.
 	eventScheduled bool
 	eventAt        time.Duration
-	eventGen       int64
+	timerFn        func()
 
 	// Seeds for the next recompute: flows that arrived or changed options,
 	// and links whose flow set shrank (cancellations).
@@ -106,7 +108,7 @@ type Flow struct {
 	total      float64
 	remaining  float64
 	lastUpdate time.Duration
-	done       *sim.Signal
+	done       sim.Signal
 	canceled   bool
 	failed     bool
 	active     bool
@@ -142,6 +144,7 @@ func New(e *sim.Engine, links []topology.Link) *Network {
 		engine:    e,
 		linkIndex: make(map[topology.LinkID]int, len(links)),
 	}
+	n.timerFn = n.fireTimer
 	for _, l := range links {
 		n.AddLink(l)
 	}
@@ -215,7 +218,7 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 		total:      bytes,
 		remaining:  bytes,
 		lastUpdate: n.engine.Now(),
-		done:       sim.NewSignal(n.engine),
+		done:       sim.MakeSignal(n.engine),
 		net:        n,
 		finishAt:   farFuture,
 		heapIdx:    -1,
@@ -240,8 +243,9 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 			return f
 		}
 	}
-	f.pathIdx = make([]int32, len(path))
-	f.linkPos = make([]int32, len(path))
+	slab := make([]int32, 2*len(path))
+	f.pathIdx = slab[:len(path):len(path)]
+	f.linkPos = slab[len(path):]
 	for i, id := range path {
 		f.pathIdx[i] = int32(n.linkIndex[id])
 	}
@@ -257,7 +261,7 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 
 // Done returns the flow's terminal signal; it fires on completion AND on
 // failure (check Failed after waiting).
-func (f *Flow) Done() *sim.Signal { return f.done }
+func (f *Flow) Done() *sim.Signal { return &f.done }
 
 // Label returns the flow's label.
 func (f *Flow) Label() string { return f.label }
@@ -532,19 +536,25 @@ func (n *Network) requestEvent(at time.Duration) {
 	if n.eventScheduled && n.eventAt <= at {
 		return
 	}
-	n.eventGen++
-	gen := n.eventGen
 	n.eventScheduled = true
 	n.eventAt = at
 	n.stats.EventsScheduled.Add(1)
 	global.EventsScheduled.Add(1)
-	n.engine.Schedule(at-n.engine.Now(), func() {
-		if gen != n.eventGen {
-			return
-		}
-		n.eventScheduled = false
-		n.recompute()
-	})
+	n.engine.Schedule(at-n.engine.Now(), n.timerFn)
+}
+
+// fireTimer is the allocator's timer callback. A timer is current only if an
+// event is still pending for exactly this instant; a superseded timer (one
+// re-armed for an earlier fire already handled its instant, or the pending
+// event moved) is a no-op. When a stale timer and its replacement share an
+// instant, the first to fire runs the recompute and clears eventScheduled, so
+// the recompute still happens exactly once.
+func (n *Network) fireTimer() {
+	if !n.eventScheduled || n.eventAt != n.engine.Now() {
+		return
+	}
+	n.eventScheduled = false
+	n.recompute()
 }
 
 // recompute is the allocator event body: it gathers the recompute seeds (due

@@ -27,6 +27,9 @@ type Buckets struct {
 // NewBuckets returns an empty accumulator with no override active.
 func NewBuckets() *Buckets { return &Buckets{override: catNone} }
 
+// Reset clears the accumulator for reuse by pooled request state.
+func (b *Buckets) Reset() { *b = Buckets{override: catNone} }
+
 // Total returns the sum over all buckets.
 func (b *Buckets) Total() time.Duration {
 	var sum time.Duration

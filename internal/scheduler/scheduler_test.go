@@ -99,6 +99,34 @@ func TestRoundRobinAndRandomStrategies(t *testing.T) {
 	}
 }
 
+// TestPlaceDeterministic re-places the replica-heavy video workflow ten
+// times on fresh placers and requires bit-identical placements. The placer
+// walks Go maps internally (placement state, edge weights); any iteration-
+// order dependence would show up here as run-to-run drift, which would break
+// replay reproducibility downstream.
+func TestPlaceDeterministic(t *testing.T) {
+	wf := workflow.Video()
+	opts := []Options{
+		{Node: -1},
+		{Node: -1, Strategy: MAPA},
+		{Node: 0, SplitAcrossNodes: true},
+	}
+	for _, opt := range opts {
+		ref := place(t, topology.DGXV100(), 2, wf, opt)
+		for run := 1; run < 10; run++ {
+			got := place(t, topology.DGXV100(), 2, wf, opt)
+			if len(got) != len(ref) {
+				t.Fatalf("opt %+v run %d: %d instances, want %d", opt, run, len(got), len(ref))
+			}
+			for si, loc := range ref {
+				if got[si] != loc {
+					t.Fatalf("opt %+v run %d: %v placed at %v, want %v", opt, run, si, got[si], loc)
+				}
+			}
+		}
+	}
+}
+
 func TestPinnedNode(t *testing.T) {
 	wf := workflow.Driving()
 	pl := place(t, topology.DGXV100(), 3, wf, Options{Node: 2})

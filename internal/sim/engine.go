@@ -8,10 +8,15 @@
 // to the engine. Because only one goroutine is ever runnable and ties are
 // broken by monotonically increasing sequence numbers, a simulation is fully
 // deterministic: the same inputs produce bit-identical schedules.
+//
+// The engine is built for scale replays (10^5..10^6 requests): the event heap
+// is a concrete-typed binary heap (no container/heap interface boxing),
+// process wake-ups are value events carrying the target process instead of a
+// fresh closure, and finished process goroutines park in a free list so a new
+// Go reuses a warm goroutine instead of spawning one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +41,12 @@ type Engine struct {
 	// nonDaemon counts queued non-daemon events; Run(0) stops at zero.
 	nonDaemon int
 
+	// free holds retired process shells whose goroutines are parked awaiting
+	// reuse. Access follows the same single-runner discipline as the event
+	// heap: a process only touches it while it holds the conceptual run lock
+	// (between being resumed and yielding), so no mutex is needed.
+	free []*Proc
+
 	// Obs is an opaque observability slot. Higher layers (internal/obs)
 	// attach a tracer here without the engine depending on them; a nil slot
 	// means tracing is disabled and costs only a nil check at call sites.
@@ -53,6 +64,16 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// Reserve pre-sizes the event heap for at least events pending entries, so a
+// large replay does not grow the heap incrementally.
+func (e *Engine) Reserve(events int) {
+	if cap(e.events) < events {
+		grown := make(eventHeap, len(e.events), events)
+		copy(grown, e.events)
+		e.events = grown
+	}
+}
+
 type event struct {
 	at  time.Duration
 	seq int64
@@ -61,25 +82,66 @@ type event struct {
 	// simulation from completing).
 	daemon bool
 	fn     func()
+	// wake, when non-nil, makes this a process wake-up event: the engine
+	// resumes the process directly instead of calling fn. gen snapshots the
+	// process's incarnation at scheduling time so a wake-up that outlives its
+	// process cannot leak into a recycled one.
+	wake *Proc
+	gen  uint64
 }
 
+// eventHeap is a concrete-typed binary min-heap over (at, seq). It
+// deliberately does not implement container/heap: pushing through that
+// interface boxes every event into an allocation, which dominates the event
+// loop at replay scale.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop fn/wake references so retired entries don't pin memory
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Schedule arranges for fn to run at now+delay. A negative delay is treated
@@ -102,14 +164,29 @@ func (e *Engine) schedule(delay time.Duration, daemon bool, fn func()) {
 	if !daemon {
 		e.nonDaemon++
 	}
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, daemon: daemon, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.seq, daemon: daemon, fn: fn})
+}
+
+// scheduleWake schedules a closure-free wake-up event for p at now+delay,
+// inheriting p's daemon status. The event snapshots p's generation; if p
+// finishes (and its shell is recycled) before the event fires, delivery
+// panics instead of silently resuming an unrelated process.
+func (e *Engine) scheduleWake(delay time.Duration, p *Proc) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	if !p.Daemon {
+		e.nonDaemon++
+	}
+	e.events.push(event{at: e.now + delay, seq: e.seq, daemon: p.Daemon, wake: p, gen: p.gen})
 }
 
 // ScheduleWake schedules p to resume at the current instant, inheriting p's
 // daemon status. External synchronization primitives use it to hand a slot
 // or value to a parked process.
 func (e *Engine) ScheduleWake(p *Proc) {
-	e.schedule(0, p.Daemon, func() { e.wake(p) })
+	e.scheduleWake(0, p)
 }
 
 // Run executes events until only daemon events remain, the heap is empty, or
@@ -125,23 +202,29 @@ func (e *Engine) Run(until time.Duration) time.Duration {
 	if until > 0 && until <= e.now {
 		return e.now
 	}
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		if until == 0 && e.nonDaemon == 0 {
 			return e.now
 		}
-		next := e.events[0]
-		if until > 0 && next.at > until {
+		if until > 0 && e.events[0].at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.events)
+		next := e.events.pop()
 		if !next.daemon {
 			e.nonDaemon--
 		}
 		if next.at > e.now {
 			e.now = next.at
 		}
-		next.fn()
+		if next.wake != nil {
+			if next.wake.gen != next.gen {
+				panic(fmt.Sprintf("sim: stale wake-up for recycled process (scheduled as %q)", next.wake.Name))
+			}
+			e.wake(next.wake)
+		} else {
+			next.fn()
+		}
 	}
 	if until > e.now {
 		e.now = until
@@ -165,6 +248,14 @@ func (e *Engine) Close() {
 // engine shuts down while the process is blocked.
 type procKilled struct{}
 
+// Runner is a process body carried by a value the caller already owns.
+// Engine.GoRun uses it to start a process without allocating a closure —
+// pooled per-request state implements Runner and is handed to the engine
+// directly.
+type Runner interface {
+	Run(p *Proc)
+}
+
 // Proc is a cooperative simulation process. All Proc methods must be called
 // from within the process's own body function.
 type Proc struct {
@@ -178,6 +269,14 @@ type Proc struct {
 	Acct   any
 	engine *Engine
 	resume chan struct{}
+
+	// gen counts incarnations of this shell. It bumps when a body finishes
+	// and the shell parks in the free list; pending wake events carry the gen
+	// they were scheduled against, so a wake crossing a recycle boundary is
+	// detected instead of resuming the wrong process.
+	gen    uint64
+	body   func(p *Proc)
+	runner Runner
 }
 
 // Engine returns the engine this process runs on.
@@ -195,20 +294,41 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 // GoDaemon spawns a daemon process: its sleeps and wakeups never keep
 // Run(0) alive. Use it for periodic maintenance loops.
 func (e *Engine) GoDaemon(name string, body func(p *Proc)) *Proc {
-	p := e.newProc(name, body)
+	p := e.newProc(name)
+	p.body = body
 	p.Daemon = true
-	e.schedule(0, true, func() { e.wake(p) })
+	e.scheduleWake(0, p)
 	return p
 }
 
 // GoAfter spawns a new process whose body starts after delay.
 func (e *Engine) GoAfter(delay time.Duration, name string, body func(p *Proc)) *Proc {
-	p := e.newProc(name, body)
-	e.Schedule(delay, func() { e.wake(p) })
+	p := e.newProc(name)
+	p.body = body
+	e.scheduleWake(delay, p)
 	return p
 }
 
-func (e *Engine) newProc(name string, body func(p *Proc)) *Proc {
+// GoRun spawns a process that executes r.Run, starting at the current
+// virtual time. Unlike Go it takes a caller-owned value rather than a
+// closure, so repeated spawns of pooled work items allocate nothing.
+func (e *Engine) GoRun(name string, r Runner) *Proc {
+	p := e.newProc(name)
+	p.runner = r
+	e.scheduleWake(0, p)
+	return p
+}
+
+// newProc returns a process shell ready to receive a body: recycled from the
+// free list when possible, otherwise freshly spawned with a parked goroutine.
+func (e *Engine) newProc(name string) *Proc {
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.Name = name
+		return p
+	}
 	p := &Proc{Name: name, engine: e, resume: make(chan struct{})}
 	e.wg.Add(1)
 	started := make(chan struct{})
@@ -223,12 +343,33 @@ func (e *Engine) newProc(name string, body func(p *Proc)) *Proc {
 			}
 		}()
 		close(started)
-		p.block()
-		body(p)
-		e.yield <- struct{}{}
+		for {
+			p.block()
+			if p.body != nil {
+				p.body(p)
+			} else {
+				p.runner.Run(p)
+			}
+			p.retire()
+			e.yield <- struct{}{}
+		}
 	}()
 	<-started
 	return p
+}
+
+// retire resets the shell after its body returns and parks it in the free
+// list. It runs on the process goroutine, but only in the window where the
+// process still holds the run lock (the engine is blocked on yield), so the
+// free-list append is ordered with all engine-side accesses.
+func (p *Proc) retire() {
+	p.gen++
+	p.body = nil
+	p.runner = nil
+	p.Daemon = false
+	p.Acct = nil
+	e := p.engine
+	e.free = append(e.free, p)
 }
 
 // wake resumes p and waits for it to block again or finish. It must only be
@@ -269,7 +410,7 @@ func (e *Engine) Wake(p *Proc) { e.wake(p) }
 // Sleep suspends the process for d of virtual time. A daemon process's
 // sleep does not keep Run(0) alive.
 func (p *Proc) Sleep(d time.Duration) {
-	p.engine.schedule(d, p.Daemon, func() { p.engine.wake(p) })
+	p.engine.scheduleWake(d, p)
 	p.suspend()
 }
 

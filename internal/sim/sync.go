@@ -14,6 +14,19 @@ type Signal struct {
 // NewSignal returns an unfired signal bound to e.
 func NewSignal(e *Engine) *Signal { return &Signal{engine: e} }
 
+// MakeSignal returns an unfired signal value bound to e. Embedding the value
+// in a pooled struct (and rearming it with Reset) avoids the per-use
+// allocation of NewSignal on hot paths.
+func MakeSignal(e *Engine) Signal { return Signal{engine: e} }
+
+// Reset rearms the signal for reuse. It must only be called once every
+// waiter woken by the previous Fire has resumed — i.e. when the owner knows
+// the signal's last cycle is fully drained.
+func (s *Signal) Reset() {
+	s.fired = false
+	s.waiters = s.waiters[:0]
+}
+
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
 
@@ -34,11 +47,13 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	for _, p := range s.waiters {
-		w := p
-		s.engine.ScheduleWake(w)
+	for i, p := range s.waiters {
+		s.engine.ScheduleWake(p)
+		s.waiters[i] = nil
 	}
-	s.waiters = nil
+	// Keep the backing array: pooled signals (Reset) re-fill it on the next
+	// cycle without reallocating.
+	s.waiters = s.waiters[:0]
 }
 
 // Future is a Signal that carries a value of type T.

@@ -1,0 +1,156 @@
+package store
+
+// Eviction indexes. Victim selection used to scan every stored item on the
+// node per eviction attempt; under replay-scale pressure (thousands of live
+// intermediates, an eviction attempt per Put) that scan dominated the whole
+// simulation. Each GPU instead keeps two binary min-heaps — replica caches
+// and primary items — whose top is exactly the item the old scan would have
+// chosen, so policy behavior is unchanged while selection drops to O(log n).
+
+// lruLess orders items least-recently-accessed first (ID breaks ties, so
+// selection is unique and deterministic).
+func lruLess(a, b *Item) bool {
+	if a.LastAccess != b.LastAccess {
+		return a.LastAccess < b.LastAccess
+	}
+	return a.ID < b.ID
+}
+
+// rqLess orders items deepest-queued-consumer first (§4.4.2).
+func rqLess(a, b *Item) bool {
+	if a.ConsumerSeq != b.ConsumerSeq {
+		return a.ConsumerSeq > b.ConsumerSeq
+	}
+	return a.ID < b.ID
+}
+
+// evictHeap is a binary min-heap of GPU-resident items in eviction order:
+// the top is the next victim. Items track their own position via heapIdx so
+// removal and reordering are O(log n) without a lookup table.
+type evictHeap struct {
+	items []*Item
+	less  func(a, b *Item) bool
+}
+
+func (h *evictHeap) top() *Item {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *evictHeap) push(it *Item) {
+	it.heapIdx = len(h.items)
+	h.items = append(h.items, it)
+	h.up(it.heapIdx)
+}
+
+func (h *evictHeap) remove(it *Item) {
+	i := it.heapIdx
+	if i < 0 {
+		return
+	}
+	it.heapIdx = -1
+	n := len(h.items) - 1
+	last := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i == n {
+		return
+	}
+	h.items[i] = last
+	last.heapIdx = i
+	h.fix(i)
+}
+
+// fix restores heap order after the item at position i changed its key.
+func (h *evictHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *evictHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *evictHeap) down(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.items[r], h.items[l]) {
+			m = r
+		}
+		if !h.less(h.items[m], h.items[i]) {
+			break
+		}
+		h.swap(i, m)
+		i = m
+		moved = true
+	}
+	return moved
+}
+
+func (h *evictHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+// index registers a GPU-resident item with its GPU's eviction index.
+func (m *Manager) index(it *Item) {
+	if it.Cache {
+		m.caches[it.GPU].push(it)
+	} else {
+		m.prims[it.GPU].push(it)
+	}
+}
+
+// unindex removes the item from its eviction index; a no-op when absent.
+func (m *Manager) unindex(it *Item) {
+	if it.heapIdx < 0 {
+		return
+	}
+	if it.Cache {
+		m.caches[it.GPU].remove(it)
+	} else {
+		m.prims[it.GPU].remove(it)
+	}
+}
+
+// hostAdd registers a host-resident item with the restore sweep list.
+func (m *Manager) hostAdd(it *Item) {
+	it.hostIdx = len(m.onHost)
+	m.onHost = append(m.onHost, it)
+}
+
+// hostRemove drops the item from the restore sweep list (swap-remove; the
+// restore loop sorts its own snapshot, so order here does not matter).
+func (m *Manager) hostRemove(it *Item) {
+	i := it.hostIdx
+	if i < 0 {
+		return
+	}
+	it.hostIdx = -1
+	n := len(m.onHost) - 1
+	last := m.onHost[n]
+	m.onHost[n] = nil
+	m.onHost = m.onHost[:n]
+	if i == n {
+		return
+	}
+	m.onHost[i] = last
+	last.hostIdx = i
+}

@@ -124,6 +124,14 @@ type Item struct {
 	// migrating guards against concurrent eviction/restoration.
 	migrating bool
 	freed     bool
+
+	// heapIdx is the item's position in its GPU's eviction index while it is
+	// GPU-resident and evictable (see Manager.caches/prims), or -1 while
+	// absent (host-resident, mid-migration, or freed).
+	heapIdx int
+	// hostIdx is the item's position in Manager.onHost while host-resident,
+	// or -1.
+	hostIdx int
 }
 
 // Manager runs the elastic storage of one node.
@@ -136,8 +144,16 @@ type Manager struct {
 	items map[dataplane.DataID]*Item
 	funcs map[string]*funcStats
 	// reservations hold pre-warmed pool bytes per function until expiry.
-	reservations []*reservation
+	reservations []reservation
 	nextID       dataplane.DataID
+
+	// caches[g]/prims[g] hold GPU g's resident cache/primary items in
+	// eviction order, so victim selection is O(log n) instead of a scan over
+	// every stored item — the scan dominated CPU time at replay scale.
+	caches []evictHeap
+	prims  []evictHeap
+	// onHost lists host-resident items for the proactive restore sweep.
+	onHost []*Item
 
 	// Evictions and Restores count migrations; UsedTL and ReservedTL sample
 	// pool state for Fig. 7(a)/20(c). CacheDrops counts replica cache entries
@@ -183,12 +199,18 @@ func NewManager(e *sim.Engine, node *fabric.NodeFabric, mig Migrator, cfg Config
 		items: make(map[dataplane.DataID]*Item),
 		funcs: make(map[string]*funcStats),
 	}
+	primLess := rqLess
+	if cfg.Policy == PolicyLRU {
+		primLess = lruLess
+	}
 	for _, dev := range node.GPUs {
 		pool := memsim.NewPool(dev)
 		if cfg.Elastic {
 			pool.Quantum = 128 << 20 // block growth amortizes native allocs
 		}
 		m.pools = append(m.pools, pool)
+		m.caches = append(m.caches, evictHeap{less: lruLess})
+		m.prims = append(m.prims, evictHeap{less: primLess})
 	}
 	if !cfg.Elastic && cfg.StaticReserve > 0 {
 		for _, p := range m.pools {
@@ -261,6 +283,8 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 		GPU:         g,
 		LastAccess:  p.Now(),
 		ConsumerSeq: ctx.ConsumerSeq,
+		heapIdx:     -1,
+		hostIdx:     -1,
 	}
 	m.recordArrival(ctx.Fn, p.Now(), bytes)
 
@@ -276,6 +300,7 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 				m.mirrorSymmetric(g, bytes)
 			}
 			m.items[it.ID] = it
+			m.prims[g].push(it)
 			m.sample(p.Now())
 			return it, nil
 		}
@@ -295,6 +320,7 @@ func (m *Manager) Put(p *sim.Proc, ctx *dataplane.FnCtx, g int, bytes int64) (*I
 	it.OnHost = true
 	it.hostBlock = blk
 	m.items[it.ID] = it
+	m.hostAdd(it)
 	m.Spills.Inc()
 	m.sample(p.Now())
 	return it, nil
@@ -345,8 +371,11 @@ func (m *Manager) PutCache(p *sim.Proc, id dataplane.DataID, fn string, g int, b
 		LastAccess: p.Now(),
 		Cache:      true,
 		CacheOf:    id,
+		heapIdx:    -1,
+		hostIdx:    -1,
 	}
 	m.items[it.ID] = it
+	m.caches[g].push(it)
 	m.sample(p.Now())
 	return it
 }
@@ -354,17 +383,7 @@ func (m *Manager) PutCache(p *sim.Proc, id dataplane.DataID, fn string, g int, b
 // pickCacheVictim selects the least recently used cache item on GPU g, or
 // nil when the GPU holds no caches.
 func (m *Manager) pickCacheVictim(g int) *Item {
-	var best *Item
-	for _, it := range m.items {
-		if !it.Cache || it.OnHost || it.migrating || it.GPU != g {
-			continue
-		}
-		if best == nil || it.LastAccess < best.LastAccess ||
-			(it.LastAccess == best.LastAccess && it.ID < best.ID) {
-			best = it
-		}
-	}
-	return best
+	return m.caches[g].top()
 }
 
 // dropCache discards a replica cache entry under eviction pressure: the pool
@@ -376,6 +395,7 @@ func (m *Manager) dropCache(it *Item) {
 		return
 	}
 	it.freed = true
+	m.unindex(it)
 	delete(m.items, it.ID)
 	m.pools[it.GPU].Release(it.Bytes)
 	m.CacheDrops.Inc()
@@ -412,8 +432,19 @@ func (m *Manager) Lookup(id dataplane.DataID) *Item {
 	return m.items[id]
 }
 
-// Touch records an access for LRU bookkeeping.
-func (m *Manager) Touch(it *Item, now time.Duration) { it.LastAccess = now }
+// Touch records an access for LRU bookkeeping and restores the item's
+// position in its eviction index when the ordering depends on recency.
+func (m *Manager) Touch(it *Item, now time.Duration) {
+	it.LastAccess = now
+	if it.heapIdx < 0 {
+		return
+	}
+	if it.Cache {
+		m.caches[it.GPU].fix(it.heapIdx)
+	} else if m.cfg.Policy == PolicyLRU {
+		m.prims[it.GPU].fix(it.heapIdx)
+	}
+}
 
 // Free drops the item, releasing its memory. In elastic mode the freed pool
 // bytes stay reserved for the producing function for R_window (pre-warming).
@@ -427,10 +458,12 @@ func (m *Manager) Free(it *Item) {
 		fs.live--
 	}
 	if it.OnHost {
+		m.hostRemove(it)
 		it.hostBlock.Free()
 		m.sample(m.eng.Now())
 		return
 	}
+	m.unindex(it)
 	m.pools[it.GPU].Release(it.Bytes)
 	if m.cfg.Elastic && !it.Cache {
 		m.reserve(it.Fn, it.GPU)
@@ -454,9 +487,11 @@ func (m *Manager) Drop(it *Item) {
 		fs.live--
 	}
 	if it.OnHost {
+		m.hostRemove(it)
 		it.hostBlock.Free()
 		it.hostBlock = nil
 	} else {
+		m.unindex(it)
 		m.pools[it.GPU].Release(it.Bytes)
 	}
 	m.sample(m.eng.Now())
@@ -492,29 +527,7 @@ func (m *Manager) ensure(p *sim.Proc, g int, bytes int64) bool {
 // Replica caches are never migration victims — they are dropped outright by
 // pickCacheVictim/dropCache before this runs.
 func (m *Manager) pickVictim(g int) *Item {
-	var best *Item
-	for _, it := range m.items {
-		if it.Cache || it.OnHost || it.migrating || it.GPU != g {
-			continue
-		}
-		if best == nil {
-			best = it
-			continue
-		}
-		switch m.cfg.Policy {
-		case PolicyLRU:
-			if it.LastAccess < best.LastAccess ||
-				(it.LastAccess == best.LastAccess && it.ID < best.ID) {
-				best = it
-			}
-		default: // queue-aware: evict the deepest-queued consumer first
-			if it.ConsumerSeq > best.ConsumerSeq ||
-				(it.ConsumerSeq == best.ConsumerSeq && it.ID < best.ID) {
-				best = it
-			}
-		}
-	}
-	return best
+	return m.prims[g].top()
 }
 
 // evict migrates an item to host memory. The nested transfer's bucket
@@ -522,9 +535,11 @@ func (m *Manager) pickVictim(g int) *Item {
 // critical path reports as migration time, not as setup/queue/transfer.
 func (m *Manager) evict(p *sim.Proc, it *Item) {
 	it.migrating = true
+	m.unindex(it)
 	blk, err := m.node.Host.Alloc(it.Bytes)
 	if err != nil {
 		it.migrating = false
+		m.index(it)
 		return
 	}
 	var span obs.SpanID
@@ -552,12 +567,14 @@ func (m *Manager) evict(p *sim.Proc, it *Item) {
 		// Transfer failed: the item stays GPU-resident.
 		blk.Free()
 		it.migrating = false
+		m.index(it)
 		return
 	}
 	m.pools[it.GPU].Release(it.Bytes)
 	it.OnHost = true
 	it.hostBlock = blk
 	it.migrating = false
+	m.hostAdd(it)
 	m.Evictions.Inc()
 	m.sample(p.Now())
 }
@@ -609,10 +626,12 @@ func (m *Manager) Restore(p *sim.Proc, it *Item) bool {
 		it.migrating = false
 		return false
 	}
+	m.hostRemove(it)
 	it.hostBlock.Free()
 	it.hostBlock = nil
 	it.OnHost = false
 	it.migrating = false
+	m.index(it)
 	m.Restores.Inc()
 	m.sample(p.Now())
 	return true
@@ -653,7 +672,7 @@ func (m *Manager) reserve(fn string, gpu int) {
 	if bytes <= 0 {
 		return
 	}
-	m.reservations = append(m.reservations, &reservation{
+	m.reservations = append(m.reservations, reservation{
 		fn: fn, gpu: gpu, bytes: bytes, expires: m.eng.Now() + window,
 	})
 }
@@ -704,8 +723,8 @@ func (m *Manager) restoreLoop(p *sim.Proc) {
 	for {
 		p.Sleep(m.cfg.ReclaimInterval / 2)
 		var cands []*Item
-		for _, it := range m.items {
-			if it.OnHost && !it.migrating {
+		for _, it := range m.onHost {
+			if !it.migrating {
 				cands = append(cands, it)
 			}
 		}
@@ -742,9 +761,10 @@ func (m *Manager) sample(now time.Duration) {
 // --- small helpers ---
 
 type quantile struct {
-	buf []float64
-	cap int
-	n   int
+	buf     []float64
+	scratch []float64
+	cap     int
+	n       int
 }
 
 func newQuantile(capacity int) *quantile { return &quantile{cap: capacity} }
@@ -762,7 +782,8 @@ func (q *quantile) p(f float64) float64 {
 	if len(q.buf) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), q.buf...)
+	s := append(q.scratch[:0], q.buf...)
+	q.scratch = s
 	sort.Float64s(s)
 	idx := int(f*float64(len(s))+0.5) - 1
 	if idx < 0 {

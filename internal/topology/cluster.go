@@ -1,9 +1,6 @@
 package topology
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 // Node is one server instance inside a cluster. It owns a namespace of link
 // IDs derived from its node index.
@@ -15,6 +12,8 @@ type Node struct {
 	// transfer, and the paper's <10µs selection budget (§4.3.3) assumes the
 	// loop-free search is amortized.
 	pathCache map[pathKey][][]int
+	// ln caches link IDs and canonical link paths (see names.go).
+	ln *linkNames
 }
 
 type pathKey struct{ src, dst, maxHops int }
@@ -56,35 +55,31 @@ func (c *Cluster) Links() []Link {
 
 // NVLinkTo names the directed NVLink link GPU i → GPU j on this node.
 // Valid only for mesh topologies with a direct connection.
-func (n *Node) NVLinkTo(i, j int) LinkID {
-	return LinkID(fmt.Sprintf("n%d.nv.%d>%d", n.ID, i, j))
-}
+func (n *Node) NVLinkTo(i, j int) LinkID { return n.names().nvTo[i][j] }
 
 // NVPortOut and NVPortIn name a GPU's NVSwitch injection/ejection ports.
-func (n *Node) NVPortOut(g int) LinkID { return LinkID(fmt.Sprintf("n%d.nvsw.g%d.out", n.ID, g)) }
+func (n *Node) NVPortOut(g int) LinkID { return n.names().nvPortOut[g] }
 
 // NVPortIn names GPU g's NVSwitch ejection port.
-func (n *Node) NVPortIn(g int) LinkID { return LinkID(fmt.Sprintf("n%d.nvsw.g%d.in", n.ID, g)) }
+func (n *Node) NVPortIn(g int) LinkID { return n.names().nvPortIn[g] }
 
 // PCIeGPUUp and PCIeGPUDown name GPU g's own x16 link (toward/from switch).
-func (n *Node) PCIeGPUUp(g int) LinkID { return LinkID(fmt.Sprintf("n%d.pcie.g%d.up", n.ID, g)) }
+func (n *Node) PCIeGPUUp(g int) LinkID { return n.names().pcieUp[g] }
 
 // PCIeGPUDown names GPU g's x16 link in the host→GPU direction.
-func (n *Node) PCIeGPUDown(g int) LinkID { return LinkID(fmt.Sprintf("n%d.pcie.g%d.down", n.ID, g)) }
+func (n *Node) PCIeGPUDown(g int) LinkID { return n.names().pcieDown[g] }
 
 // PCIeSwitchUp and PCIeSwitchDown name switch s's host uplink.
-func (n *Node) PCIeSwitchUp(s int) LinkID { return LinkID(fmt.Sprintf("n%d.pcie.sw%d.up", n.ID, s)) }
+func (n *Node) PCIeSwitchUp(s int) LinkID { return n.names().swUp[s] }
 
 // PCIeSwitchDown names switch s's uplink in the host→switch direction.
-func (n *Node) PCIeSwitchDown(s int) LinkID {
-	return LinkID(fmt.Sprintf("n%d.pcie.sw%d.down", n.ID, s))
-}
+func (n *Node) PCIeSwitchDown(s int) LinkID { return n.names().swDown[s] }
 
 // NICTx and NICRx name NIC k's transmit/receive sides.
-func (n *Node) NICTx(k int) LinkID { return LinkID(fmt.Sprintf("n%d.nic%d.tx", n.ID, k)) }
+func (n *Node) NICTx(k int) LinkID { return n.names().nicTx[k] }
 
 // NICRx names NIC k's receive side.
-func (n *Node) NICRx(k int) LinkID { return LinkID(fmt.Sprintf("n%d.nic%d.rx", n.ID, k)) }
+func (n *Node) NICRx(k int) LinkID { return n.names().nicRx[k] }
 
 // Links enumerates all directed links on this node.
 func (n *Node) Links() []Link {
@@ -140,28 +135,15 @@ func (n *Node) Links() []Link {
 
 // GPUToHostLinks returns the link path for staging data from GPU g to host
 // memory: the GPU's own x16 link, then its switch's shared host uplink.
-func (n *Node) GPUToHostLinks(g int) []LinkID {
-	return []LinkID{n.PCIeGPUUp(g), n.PCIeSwitchUp(n.Spec.PCIeGroup[g])}
-}
+func (n *Node) GPUToHostLinks(g int) []LinkID { return n.names().gpuToHost[g] }
 
 // HostToGPULinks is the reverse of GPUToHostLinks.
-func (n *Node) HostToGPULinks(g int) []LinkID {
-	return []LinkID{n.PCIeSwitchDown(n.Spec.PCIeGroup[g]), n.PCIeGPUDown(g)}
-}
+func (n *Node) HostToGPULinks(g int) []LinkID { return n.names().hostToGPU[g] }
 
 // PCIeP2PLinks returns the PCIe peer-to-peer path GPU i → GPU j. Under the
 // same switch, traffic stays below the switch (both x16 links only); across
 // switches it additionally crosses both host uplinks.
-func (n *Node) PCIeP2PLinks(i, j int) []LinkID {
-	s := n.Spec
-	if s.PCIeGroup[i] == s.PCIeGroup[j] {
-		return []LinkID{n.PCIeGPUUp(i), n.PCIeGPUDown(j)}
-	}
-	return []LinkID{
-		n.PCIeGPUUp(i), n.PCIeSwitchUp(s.PCIeGroup[i]),
-		n.PCIeSwitchDown(s.PCIeGroup[j]), n.PCIeGPUDown(j),
-	}
-}
+func (n *Node) PCIeP2PLinks(i, j int) []LinkID { return n.names().p2p[i][j] }
 
 // NVLinkPathLinks converts a GPU-hop sequence (e.g. [4 6 7 1]) into link IDs.
 // On switched fabrics only direct two-GPU sequences are valid.
@@ -173,40 +155,29 @@ func (n *Node) NVLinkPathLinks(gpus []int) []LinkID {
 		if len(gpus) != 2 {
 			panic("topology: multi-hop NVLink path on a switched fabric")
 		}
-		return []LinkID{n.NVPortOut(gpus[0]), n.NVPortIn(gpus[1])}
+		return n.names().nvPair[gpus[0]][gpus[1]]
 	}
-	var out []LinkID
+	if len(gpus) == 2 {
+		return n.names().nvPair[gpus[0]][gpus[1]]
+	}
+	out := make([]LinkID, 0, len(gpus)-1)
 	for i := 0; i+1 < len(gpus); i++ {
 		out = append(out, n.NVLinkTo(gpus[i], gpus[i+1]))
 	}
 	return out
 }
 
+// NVLinkPairLinks is the single-hop NVLink path a → b, served from the
+// node's path cache without allocating.
+func (n *Node) NVLinkPairLinks(a, b int) []LinkID { return n.names().nvPair[a][b] }
+
 // GPUToNICLinks returns the GPUDirect path from GPU g out through NIC k. A
 // NIC under g's own PCIe switch is reached peer-to-peer over g's x16 link; a
 // NIC under another switch additionally crosses both host uplinks.
-func (n *Node) GPUToNICLinks(g, k int) []LinkID {
-	s := n.Spec
-	if s.NICGroup[k] == s.PCIeGroup[g] {
-		return []LinkID{n.PCIeGPUUp(g), n.NICTx(k)}
-	}
-	return []LinkID{
-		n.PCIeGPUUp(g), n.PCIeSwitchUp(s.PCIeGroup[g]),
-		n.PCIeSwitchDown(s.NICGroup[k]), n.NICTx(k),
-	}
-}
+func (n *Node) GPUToNICLinks(g, k int) []LinkID { return n.names().gpuToNIC[g][k] }
 
 // NICToGPULinks is the receive-side mirror of GPUToNICLinks.
-func (n *Node) NICToGPULinks(k, g int) []LinkID {
-	s := n.Spec
-	if s.NICGroup[k] == s.PCIeGroup[g] {
-		return []LinkID{n.NICRx(k), n.PCIeGPUDown(g)}
-	}
-	return []LinkID{
-		n.NICRx(k), n.PCIeSwitchUp(s.NICGroup[k]),
-		n.PCIeSwitchDown(s.PCIeGroup[g]), n.PCIeGPUDown(g),
-	}
-}
+func (n *Node) NICToGPULinks(k, g int) []LinkID { return n.names().nicToGPU[k][g] }
 
 // NVLinkPaths enumerates simple NVLink paths from src to dst with at most
 // maxHops hops (maxHops=1 yields only the direct path). Paths are returned

@@ -1,0 +1,138 @@
+package topology
+
+import "fmt"
+
+// linkNames caches every link ID a node can mint, plus the canonical link
+// paths derived from them. Link IDs are formatted strings; before this cache
+// each transfer's path construction re-formatted every ID on the route, which
+// dominated the data plane's allocation profile at replay scale. The tables
+// are built once per node, lazily, and the cached path slices are exact-sized
+// (cap == len), so callers appending to a returned path always copy instead
+// of clobbering the cache.
+type linkNames struct {
+	nvTo      [][]LinkID // mesh NVLink i→j (only meaningful where NVAdj > 0)
+	nvPortOut []LinkID
+	nvPortIn  []LinkID
+	pcieUp    []LinkID
+	pcieDown  []LinkID
+	swUp      []LinkID
+	swDown    []LinkID
+	nicTx     []LinkID
+	nicRx     []LinkID
+
+	gpuToHost [][]LinkID   // [g]
+	hostToGPU [][]LinkID   // [g]
+	p2p       [][][]LinkID // [i][j]
+	gpuToNIC  [][][]LinkID // [g][k]
+	nicToGPU  [][][]LinkID // [k][g]
+	nvPair    [][][]LinkID // [a][b] two-GPU NVLink hop
+}
+
+// names returns the node's link-name cache, building it on first use.
+func (n *Node) names() *linkNames {
+	if n.ln != nil {
+		return n.ln
+	}
+	s := n.Spec
+	ln := &linkNames{}
+
+	ln.nvTo = make([][]LinkID, s.NumGPUs)
+	ln.nvPair = make([][][]LinkID, s.NumGPUs)
+	for i := 0; i < s.NumGPUs; i++ {
+		ln.nvTo[i] = make([]LinkID, s.NumGPUs)
+		ln.nvPair[i] = make([][]LinkID, s.NumGPUs)
+		for j := 0; j < s.NumGPUs; j++ {
+			ln.nvTo[i][j] = LinkID(fmt.Sprintf("n%d.nv.%d>%d", n.ID, i, j))
+		}
+	}
+	ln.nvPortOut = make([]LinkID, s.NumGPUs)
+	ln.nvPortIn = make([]LinkID, s.NumGPUs)
+	ln.pcieUp = make([]LinkID, s.NumGPUs)
+	ln.pcieDown = make([]LinkID, s.NumGPUs)
+	for g := 0; g < s.NumGPUs; g++ {
+		ln.nvPortOut[g] = LinkID(fmt.Sprintf("n%d.nvsw.g%d.out", n.ID, g))
+		ln.nvPortIn[g] = LinkID(fmt.Sprintf("n%d.nvsw.g%d.in", n.ID, g))
+		ln.pcieUp[g] = LinkID(fmt.Sprintf("n%d.pcie.g%d.up", n.ID, g))
+		ln.pcieDown[g] = LinkID(fmt.Sprintf("n%d.pcie.g%d.down", n.ID, g))
+	}
+	groups := 0
+	for _, g := range s.PCIeGroup {
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	for _, g := range s.NICGroup {
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	ln.swUp = make([]LinkID, groups)
+	ln.swDown = make([]LinkID, groups)
+	for sw := 0; sw < groups; sw++ {
+		ln.swUp[sw] = LinkID(fmt.Sprintf("n%d.pcie.sw%d.up", n.ID, sw))
+		ln.swDown[sw] = LinkID(fmt.Sprintf("n%d.pcie.sw%d.down", n.ID, sw))
+	}
+	ln.nicTx = make([]LinkID, s.NICCount)
+	ln.nicRx = make([]LinkID, s.NICCount)
+	for k := 0; k < s.NICCount; k++ {
+		ln.nicTx[k] = LinkID(fmt.Sprintf("n%d.nic%d.tx", n.ID, k))
+		ln.nicRx[k] = LinkID(fmt.Sprintf("n%d.nic%d.rx", n.ID, k))
+	}
+
+	ln.gpuToHost = make([][]LinkID, s.NumGPUs)
+	ln.hostToGPU = make([][]LinkID, s.NumGPUs)
+	for g := 0; g < s.NumGPUs; g++ {
+		ln.gpuToHost[g] = []LinkID{ln.pcieUp[g], ln.swUp[s.PCIeGroup[g]]}
+		ln.hostToGPU[g] = []LinkID{ln.swDown[s.PCIeGroup[g]], ln.pcieDown[g]}
+	}
+	ln.p2p = make([][][]LinkID, s.NumGPUs)
+	for i := 0; i < s.NumGPUs; i++ {
+		ln.p2p[i] = make([][]LinkID, s.NumGPUs)
+		for j := 0; j < s.NumGPUs; j++ {
+			if s.PCIeGroup[i] == s.PCIeGroup[j] {
+				ln.p2p[i][j] = []LinkID{ln.pcieUp[i], ln.pcieDown[j]}
+			} else {
+				ln.p2p[i][j] = []LinkID{
+					ln.pcieUp[i], ln.swUp[s.PCIeGroup[i]],
+					ln.swDown[s.PCIeGroup[j]], ln.pcieDown[j],
+				}
+			}
+			if s.Switched {
+				ln.nvPair[i][j] = []LinkID{ln.nvPortOut[i], ln.nvPortIn[j]}
+			} else {
+				ln.nvPair[i][j] = []LinkID{ln.nvTo[i][j]}
+			}
+		}
+	}
+	ln.gpuToNIC = make([][][]LinkID, s.NumGPUs)
+	for g := 0; g < s.NumGPUs; g++ {
+		ln.gpuToNIC[g] = make([][]LinkID, s.NICCount)
+		for k := 0; k < s.NICCount; k++ {
+			if s.NICGroup[k] == s.PCIeGroup[g] {
+				ln.gpuToNIC[g][k] = []LinkID{ln.pcieUp[g], ln.nicTx[k]}
+			} else {
+				ln.gpuToNIC[g][k] = []LinkID{
+					ln.pcieUp[g], ln.swUp[s.PCIeGroup[g]],
+					ln.swDown[s.NICGroup[k]], ln.nicTx[k],
+				}
+			}
+		}
+	}
+	ln.nicToGPU = make([][][]LinkID, s.NICCount)
+	for k := 0; k < s.NICCount; k++ {
+		ln.nicToGPU[k] = make([][]LinkID, s.NumGPUs)
+		for g := 0; g < s.NumGPUs; g++ {
+			if s.NICGroup[k] == s.PCIeGroup[g] {
+				ln.nicToGPU[k][g] = []LinkID{ln.nicRx[k], ln.pcieDown[g]}
+			} else {
+				ln.nicToGPU[k][g] = []LinkID{
+					ln.nicRx[k], ln.swUp[s.NICGroup[k]],
+					ln.swDown[s.PCIeGroup[g]], ln.pcieDown[g],
+				}
+			}
+		}
+	}
+
+	n.ln = ln
+	return ln
+}

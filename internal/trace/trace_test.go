@@ -73,6 +73,67 @@ func TestBurstyIsBurstier(t *testing.T) {
 	}
 }
 
+// TestPatternStatisticsBands sweeps each arrival pattern across three seeds
+// and checks the summary statistics against tolerance bands derived from the
+// generating processes:
+//
+//   - sporadic is homogeneous Poisson: at 30k expected arrivals the empirical
+//     mean concentrates within ±10% of MeanRPS and the inter-arrival CV near
+//     the exponential's 1;
+//   - periodic thins a Poisson process by a sinusoid: the long-run mean stays
+//     near MeanRPS (±20%) while rate modulation holds the CV at or above 1;
+//   - bursty alternates a 0.2× baseline with 4× bursts: segment randomness
+//     widens the mean band to ±40% and the CV clears the Poisson value by a
+//     wide margin.
+//
+// Every generated trace must also be sorted, in [0, Duration), and
+// regenerate byte-identically from its seed.
+func TestPatternStatisticsBands(t *testing.T) {
+	const dur = 10 * time.Minute
+	const mean = 50.0
+	cases := []struct {
+		pattern          Pattern
+		minMean, maxMean float64
+		minCV, maxCV     float64
+	}{
+		{Sporadic, 45, 55, 0.90, 1.10},
+		{Periodic, 40, 60, 1.00, 1.60},
+		{Bursty, 30, 75, 1.30, 6.00},
+	}
+	for _, tc := range cases {
+		for _, seed := range []int64{1, 7, 42} {
+			spec := Spec{Pattern: tc.pattern, Duration: dur, MeanRPS: mean, Seed: seed}
+			arr := Generate(spec)
+			for i, a := range arr {
+				if a < 0 || a >= dur {
+					t.Fatalf("%v seed %d: arrival %v out of [0,%v)", tc.pattern, seed, a, dur)
+				}
+				if i > 0 && a < arr[i-1] {
+					t.Fatalf("%v seed %d: arrivals not sorted at %d", tc.pattern, seed, i)
+				}
+			}
+			again := Generate(spec)
+			if len(again) != len(arr) {
+				t.Fatalf("%v seed %d: regeneration length %d != %d", tc.pattern, seed, len(again), len(arr))
+			}
+			for i := range arr {
+				if again[i] != arr[i] {
+					t.Fatalf("%v seed %d: regeneration diverges at %d", tc.pattern, seed, i)
+				}
+			}
+			st := Summarize(arr, dur)
+			if st.Mean < tc.minMean || st.Mean > tc.maxMean {
+				t.Errorf("%v seed %d: mean rate %.2f outside [%.0f, %.0f]",
+					tc.pattern, seed, st.Mean, tc.minMean, tc.maxMean)
+			}
+			if st.CV < tc.minCV || st.CV > tc.maxCV {
+				t.Errorf("%v seed %d: CV %.2f outside [%.2f, %.2f]",
+					tc.pattern, seed, st.CV, tc.minCV, tc.maxCV)
+			}
+		}
+	}
+}
+
 func TestEmptySpecs(t *testing.T) {
 	if got := Generate(Spec{Pattern: Sporadic, Duration: 0, MeanRPS: 10}); got != nil {
 		t.Errorf("zero duration trace = %v", got)

@@ -1,0 +1,52 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadWorkflow feeds arbitrary bytes through the JSON workflow loader.
+// Parse must never panic: malformed JSON, dependency cycles (a dep naming a
+// later or the same stage), dangling dependency references, and duplicate
+// stage names all have to surface as errors. Whenever Parse does accept an
+// input, the returned workflow must re-validate cleanly.
+func FuzzLoadWorkflow(f *testing.F) {
+	seeds := []string{
+		sampleJSON,
+		`{"name":"d","stages":[{"name":"a","model":"denoise"}]}`,
+		// Malformed JSON.
+		`{{{`,
+		`{"name":"x","stages":[`,
+		`null`,
+		`"just a string"`,
+		// Unknown fields are rejected by DisallowUnknownFields.
+		`{"name":"x","wat":1,"stages":[{"name":"a","model":"denoise"}]}`,
+		// Self- and forward-referencing deps (the cycle cases: deps must
+		// name a preceding stage).
+		`{"name":"x","stages":[{"name":"a","model":"denoise","deps":["a"]}]}`,
+		`{"name":"x","stages":[{"name":"a","model":"denoise","deps":["b"]},{"name":"b","model":"denoise","deps":["a"]}]}`,
+		// Dangling dependency reference.
+		`{"name":"x","stages":[{"name":"a","model":"denoise","deps":["ghost"]}]}`,
+		// Duplicate stage names.
+		`{"name":"x","stages":[{"name":"a","model":"denoise"},{"name":"a","model":"denoise"}]}`,
+		// Both model forms, bad custom profile, unknown model.
+		`{"name":"x","stages":[{"name":"a","model":"denoise","custom":{"per_item_us":1,"in_bytes":1,"out_bytes":1}}]}`,
+		`{"name":"x","stages":[{"name":"a","custom":{"per_item_us":0,"in_bytes":-1,"out_bytes":1}}]}`,
+		`{"name":"x","stages":[{"name":"a","model":"nope"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if w == nil {
+			t.Fatal("Parse returned nil workflow without error")
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted workflow fails Validate: %v", err)
+		}
+	})
+}

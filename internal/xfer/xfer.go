@@ -171,6 +171,13 @@ type Manager struct {
 	Fabric      *fabric.Fabric
 	ChunkBytes  int64
 	BatchChunks int
+
+	// Scratch reused across the alive-filter → flow-launch window of each
+	// attempt. The window contains no yield point, so concurrent transfers
+	// (which interleave only at yields in the cooperative simulator) cannot
+	// observe each other's scratch.
+	aliveScratch []Path
+	splitScratch []int64
 }
 
 // NewManager returns a manager with paper-default chunking.
@@ -290,14 +297,16 @@ func (m *Manager) transferAttempts(p *sim.Proc, req Request, start time.Duration
 	return p.Now() - start, err
 }
 
-// alivePaths filters out paths crossing a failed link.
+// alivePaths filters out paths crossing a failed link. The result aliases the
+// manager's scratch buffer and is only valid until the next yield point.
 func (m *Manager) alivePaths(paths []Path) []Path {
-	alive := paths[:0:0]
+	alive := m.aliveScratch[:0]
 	for _, pa := range paths {
 		if m.Fabric.Net.PathUp(pa.Links) {
 			alive = append(alive, pa)
 		}
 	}
+	m.aliveScratch = alive[:0]
 	return alive
 }
 
@@ -390,8 +399,11 @@ func waitFlow(e *sim.Engine, f *netsim.Flow, fn func()) {
 // is the request's full payload: min-rate reservations are scaled against it
 // so a retry re-sending a residue does not inflate its per-byte rate floor.
 func (m *Manager) startFlows(label string, bytes int64, paths []Path, opt netsim.Options, origBytes int64) []*netsim.Flow {
-	split := SplitBytes(bytes, paths, m.ChunkBytes)
-	var flows []*netsim.Flow
+	if cap(m.splitScratch) < len(paths) {
+		m.splitScratch = make([]int64, len(paths))
+	}
+	split := splitBytesInto(m.splitScratch[:len(paths)], bytes, paths, m.ChunkBytes)
+	flows := make([]*netsim.Flow, 0, len(paths))
 	for i, b := range split {
 		if b <= 0 {
 			continue
@@ -402,7 +414,7 @@ func (m *Manager) startFlows(label string, bytes int64, paths []Path, opt netsim
 		}
 		flows = append(flows, m.Fabric.Net.Start(label, paths[i].Links, float64(b), o))
 	}
-	if flows == nil {
+	if len(flows) == 0 {
 		// Entire payload rounded into path 0.
 		flows = append(flows, m.Fabric.Net.Start(label, paths[0].Links, float64(bytes), opt))
 	}
@@ -413,7 +425,15 @@ func (m *Manager) startFlows(label string, bytes int64, paths []Path, opt netsim
 // quantized to whole chunks (§4.3.3: chunk sizes scale with path capacity).
 // Transfers of at most one chunk use only the fastest path.
 func SplitBytes(bytes int64, paths []Path, chunk int64) []int64 {
-	out := make([]int64, len(paths))
+	return splitBytesInto(make([]int64, len(paths)), bytes, paths, chunk)
+}
+
+// splitBytesInto is SplitBytes writing into a caller-provided slice of
+// len(paths), so the hot path can reuse a scratch buffer.
+func splitBytesInto(out []int64, bytes int64, paths []Path, chunk int64) []int64 {
+	for i := range out {
+		out[i] = 0
+	}
 	if bytes <= 0 {
 		return out
 	}

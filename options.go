@@ -30,6 +30,18 @@ func WithTracer() Option { return func(o *simOptions) { o.trace = true } }
 // memory pressure; retrieve it with Sim.Faults.
 func WithFaults() Option { return func(o *simOptions) { o.faults = true } }
 
+// WithScaleDefaults configures the Sim the way the scale-replay experiment
+// (grouter-bench -scale) drives it: a 2-node cluster with the canonical
+// replay seed. Combine with the "dgx-v100" spec and App.ReplayTrace's
+// batched admission to reproduce the replay setup; later options override
+// individual fields.
+func WithScaleDefaults() Option {
+	return func(o *simOptions) {
+		o.nodes = 2
+		o.seed = 42
+	}
+}
+
 // WithCoalescing enables fan-out-aware transfer coalescing in planes built
 // by Sim.NewGRouter without an explicit Config: concurrent Gets of one
 // object to the same GPU share a transfer, and later consumers pull from the
