@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,16 +33,79 @@ func main() {
 	fanout := flag.Bool("fanout", false, "run the fan-out coalescing experiment (shorthand for -run ext-fanout)")
 	scale := flag.Bool("scale", false, "run the full-size scale replay (ext-scale at -scale-requests) and exit")
 	scaleRequests := flag.Int("scale-requests", 100_000, "request count for the largest -scale replays")
+	scaleShards := flag.Int("scale-shards", 0, "with -scale: replay the 8-pod scale-out fleet on this many engine shards instead of the single-cluster replay")
+	shardStats := flag.Bool("shard-stats", false, "replay the full-size bursty fleet cell at -scale-shards shards and print wall-clock per-shard utilization (not part of any deterministic table)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grouter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "grouter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grouter-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "grouter-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *spanStats {
 		fmt.Println(experiments.SpanStatsTable().Format())
 		return
 	}
+	if *shardStats {
+		shards := *scaleShards
+		if shards <= 0 {
+			shards = 4
+		}
+		st := experiments.ShardedScaleRun(*scaleRequests, shards)
+		fmt.Printf("sharded replay: %d requests, %d pods, %d shards, completed %d\n",
+			st.Requests, st.Pods, st.Shards, st.Completed)
+		fmt.Printf("  virtual: dur=%v tput=%.1f req/s p50=%v p99=%v\n",
+			st.Duration.Round(time.Millisecond), st.Throughput, st.P50, st.P99)
+		var busy, maxBusy time.Duration
+		for _, u := range st.Util {
+			fmt.Printf("  %s\n", u)
+			busy += u.Busy
+			if u.Busy > maxBusy {
+				maxBusy = u.Busy
+			}
+		}
+		fmt.Printf("  wall=%v", st.Wall.Round(time.Millisecond))
+		if maxBusy > 0 {
+			// busy/maxBusy is the speedup the window protocol admits on
+			// enough cores: total work over the critical shard's work.
+			fmt.Printf(" parallelism=%.2fx (total busy / max shard busy)", float64(busy)/float64(maxBusy))
+		}
+		fmt.Println()
+		return
+	}
 	if *scale {
 		// Everything in the table is measured in virtual time, so this
-		// output is byte-identical across runs (no wall-clock footer).
-		fmt.Println(experiments.ScaleTable(*scaleRequests).Format())
+		// output is byte-identical across runs (no wall-clock footer) —
+		// including across -scale-shards values.
+		if *scaleShards > 0 {
+			fmt.Println(experiments.ShardedScaleTable(*scaleRequests, *scaleShards).Format())
+		} else {
+			fmt.Println(experiments.ScaleTable(*scaleRequests).Format())
+		}
 		return
 	}
 	if *fanout {

@@ -143,3 +143,37 @@ func TestFacadeCoalescedFanout(t *testing.T) {
 		t.Error("no Get was coalesced")
 	}
 }
+
+// TestFacadeReplayScaleOut exercises the sharded fleet replay through the
+// façade: WithShards is a pure execution knob, so the deterministic results
+// must match across shard counts.
+func TestFacadeReplayScaleOut(t *testing.T) {
+	arrivals := GenerateTrace(TraceSpec{
+		Pattern: Bursty, Duration: time.Second, MeanRPS: 200, Seed: 42,
+	})
+	buildPod := func(pod int, s *Sim) *App {
+		c := s.NewCluster(func(s *Sim) Plane { return s.NewGRouter() })
+		return c.Deploy(DrivingWorkflow(), 0, PlaceOptions{Node: 0, SplitAcrossNodes: true})
+	}
+	run := func(shards int) ScaleOutStats {
+		st, err := ReplayScaleOut("dgx-v100", arrivals, buildPod,
+			WithNodes(2), WithShards(shards), WithTracer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st1, st4 := run(1), run(4)
+	if st1.Completed != len(arrivals) {
+		t.Fatalf("completed %d of %d", st1.Completed, len(arrivals))
+	}
+	if st1.Completed != st4.Completed || st1.P99 != st4.P99 || st1.Duration != st4.Duration {
+		t.Errorf("shard counts diverged: 1 shard %+v, 4 shards %+v", st1.ReplayStats, st4.ReplayStats)
+	}
+	if len(st4.Tracers) != 4 {
+		t.Errorf("WithTracer: %d tracers, want 4", len(st4.Tracers))
+	}
+	if _, err := ReplayScaleOut("no-such-topo", arrivals, buildPod); err == nil {
+		t.Error("unknown topology should error")
+	}
+}

@@ -73,6 +73,16 @@ type (
 	ReplayOptions = cluster.ReplayOptions
 	// ReplayStats summarizes one replayed trace in virtual time.
 	ReplayStats = cluster.ReplayStats
+	// ScaleOutOptions configures ReplayScaleOut's pod fleet and sharded
+	// execution (fleet shape is part of the result; shards are not).
+	ScaleOutOptions = cluster.ShardedOptions
+	// ScaleOutStats reports a ReplayScaleOut run: deterministic fleet-level
+	// and per-pod results plus wall-clock shard utilization.
+	ScaleOutStats = cluster.ShardedStats
+	// PodReplay is one pod's share of a ReplayScaleOut run.
+	PodReplay = cluster.PodReplay
+	// ShardUtil is one engine shard's wall-clock busy/wait utilization.
+	ShardUtil = sim.ShardUtil
 	// Workflow is a DAG of serverless function stages.
 	Workflow = workflow.Workflow
 	// PlaceOptions constrains where a workflow's stages are placed.
@@ -247,6 +257,50 @@ func (s *Sim) NewCluster(mkPlane func(s *Sim) Plane) *Runtime {
 // simulation's engine. It carries its own 8×H800 fabric, sized for
 // tensor-parallel KV exchange, independent of the Sim's fabric.
 func (s *Sim) NewKVCluster(n int) *KVCluster { return kvcache.NewCluster(s.Engine, n) }
+
+// ReplayScaleOut replays an arrival trace over a fleet of independent pods —
+// each a full cluster of the named topology whose data plane and workflow
+// the buildPod callback deploys — executed on the sharded parallel engine:
+//
+//	st, err := grouter.ReplayScaleOut("dgx-v100", arrivals,
+//	    func(pod int, s *grouter.Sim) *grouter.App {
+//	        c := s.NewCluster(func(s *grouter.Sim) grouter.Plane { return s.NewGRouter() })
+//	        return c.Deploy(grouter.DrivingWorkflow(), 0, grouter.PlaceOptions{Node: 0})
+//	    },
+//	    grouter.WithNodes(2), grouter.WithShards(4))
+//
+// buildPod runs once per pod on that pod's private Sim (sharing the shard
+// engine hosting the pod) and must build every pod identically given the
+// same index. WithShards picks the shard count — a pure execution knob; the
+// returned stats' deterministic fields are byte-identical for any value.
+// WithTracer attaches a shard-tagged tracer per shard, returned in
+// ScaleOutStats.Tracers and mergeable into one Chrome trace. Request i goes
+// to pod i mod ScaleOutOptions' default fleet width (8 pods).
+func ReplayScaleOut(spec string, arrivals []time.Duration, buildPod func(pod int, s *Sim) *App, opts ...Option) (ScaleOutStats, error) {
+	ts := topology.SpecByName(spec)
+	if ts == nil {
+		return ScaleOutStats{}, fmt.Errorf("grouter: unknown topology %q", spec)
+	}
+	o := defaultSimOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.nodes < 1 {
+		return ScaleOutStats{}, fmt.Errorf("grouter: simulation needs at least 1 node, got %d", o.nodes)
+	}
+	st := cluster.ShardedReplay(arrivals, cluster.ShardedOptions{
+		Shards: o.shards,
+		Trace:  o.trace,
+	}, func(pod int, e *sim.Engine) *cluster.App {
+		sm := &Sim{Engine: e, opts: o, tracer: obs.TracerOf(e)}
+		sm.Fabric = fabric.New(e, ts, o.nodes)
+		if o.faults {
+			sm.injector = faults.NewInjector(e, sm.Fabric.Net)
+		}
+		return buildPod(pod, sm)
+	})
+	return st, nil
+}
 
 // NewSimN builds a simulation of n nodes of the named topology.
 //

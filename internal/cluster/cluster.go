@@ -131,6 +131,12 @@ type App struct {
 	Completed int
 	seedBase  int64
 
+	// OnComplete, when non-nil, observes every request completion (sequence
+	// number, completion instant, end-to-end latency) in event context.
+	// Sharded replays use it to build the deterministically merged
+	// completion stream; it must not start new simulation activity.
+	OnComplete func(seq int64, at, e2e time.Duration)
+
 	// Cold configures serverless provisioning (disabled = pre-warmed, the
 	// paper's default per §5).
 	Cold       ColdStartPolicy

@@ -420,6 +420,9 @@ func (ac *activation) Run(p *sim.Proc) {
 		a.XferHost.Add(st.xferHost)
 		a.Compute.Add(st.compute)
 		a.Completed++
+		if a.OnComplete != nil {
+			a.OnComplete(st.seq, end, end-st.start)
+		}
 		tr.End(st.reqSpan)
 		if st.insts != nil {
 			a.Breakdown.record(st, ac.idx, end)

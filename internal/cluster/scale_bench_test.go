@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -44,5 +45,30 @@ func BenchmarkScaleReplay(b *testing.B) {
 			b.Fatalf("completed %d of %d", app.Completed, len(arrivals))
 		}
 		e.Close()
+	}
+}
+
+// BenchmarkScaleReplaySharded replays the same canonical bursty trace over
+// the 8-pod scale-out fleet at varying shard counts. Deterministic output is
+// identical across sub-benchmarks (ShardedReplay's differential tests assert
+// it); only wall-clock changes, so the shards=1 / shards=N ns/op ratio is
+// the parallel speedup on the host. On a single-core host expect ~1× plus
+// barrier overhead; see EXPERIMENTS.md for multi-core numbers.
+func BenchmarkScaleReplaySharded(b *testing.B) {
+	requests := 100_000
+	if testing.Short() {
+		requests = 5_000
+	}
+	arrivals := scaleArrivals(requests)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := ShardedReplay(arrivals, ShardedOptions{Shards: shards}, buildScalePod)
+				if st.Completed != len(arrivals) {
+					b.Fatalf("completed %d of %d", st.Completed, len(arrivals))
+				}
+			}
+		})
 	}
 }

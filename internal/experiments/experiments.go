@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"ext-faults", "Extension: self-healing transfers under link faults", ExtFaults},
 		{"ext-fanout", "Extension: fan-out transfer coalescing", ExtFanout},
 		{"ext-scale", "Extension: trace replay at scale with batched admission", ExtScale},
+		{"ext-scale-shard", "Extension: scale-out fleet replay on the sharded engine", ExtScaleShard},
 	}
 }
 

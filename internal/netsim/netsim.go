@@ -49,9 +49,22 @@ var global metrics.AllocatorStats
 func Stats() *metrics.AllocatorStats { return &global }
 
 // Network simulates a set of capacity-annotated links shared by flows.
+//
+// Sharded execution: a Network is single-threaded state owned by one engine.
+// In a sharded replay (internal/sim's ShardGroup) every Network — and with
+// it the whole incremental allocator: link graph, flow set, dirty
+// components — lives on exactly one shard, because a pod's fabric is its
+// own connected component and never shares links with another shard's.
+// NetStats is therefore shard-local allocator work by construction; only
+// the process-wide Stats() aggregate crosses shards, which is why its
+// counters are atomic.
 type Network struct {
 	engine *sim.Engine
 	stats  metrics.AllocatorStats
+
+	// shard tags this network's flow spans with the engine shard hosting it
+	// in sharded runs (-1 = unsharded, no tag emitted).
+	shard int32
 
 	// Dense link table; see index.go.
 	linkIndex map[topology.LinkID]int
@@ -142,6 +155,7 @@ type Options struct {
 func New(e *sim.Engine, links []topology.Link) *Network {
 	n := &Network{
 		engine:    e,
+		shard:     -1,
 		linkIndex: make(map[topology.LinkID]int, len(links)),
 	}
 	n.timerFn = n.fireTimer
@@ -150,6 +164,11 @@ func New(e *sim.Engine, links []topology.Link) *Network {
 	}
 	return n
 }
+
+// SetShard tags the network with the engine shard hosting it; subsequent
+// flow spans carry a "shard" attribute. Sharded replays call it at pod
+// construction; unsharded simulations leave the network untagged.
+func (n *Network) SetShard(shard int32) { n.shard = shard }
 
 // AddLink registers a link, assigning it a dense index. Re-adding an
 // existing ID replaces its capacity.
@@ -254,6 +273,9 @@ func (n *Network) Start(label string, path []topology.LinkID, bytes float64, opt
 	if tr := obs.TracerOf(n.engine); tr != nil {
 		f.span = tr.BeginOn(obs.FlowTrack(f.seq), obs.CatFlow, label)
 		tr.SetAttrInt(f.span, "bytes", int64(bytes))
+		if n.shard >= 0 {
+			tr.SetAttrInt(f.span, "shard", int64(n.shard))
+		}
 	}
 	n.requestEvent(n.engine.Now())
 	return f

@@ -52,6 +52,60 @@ func (t *Tracer) Export(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ExportMerged writes the events of several tracers — typically one per
+// shard of a sharded run, each tagged with SetShard — as a single Chrome
+// trace. Events are merged in (virtual start time, shard tag, per-tracer
+// sequence) order, the same total order the sharded engine's deterministic
+// mail merge uses, so the merged file is byte-identical across runs and
+// across parallel/sequential executions. Each tracer's shard tag becomes a
+// process lane. Nil tracers are skipped; no tracers writes a valid empty
+// trace.
+func ExportMerged(w io.Writer, tracers ...*Tracer) error {
+	type ref struct {
+		t   *Tracer
+		idx int
+	}
+	var order []ref
+	attrsByTracer := make(map[*Tracer]map[SpanID][]int)
+	nowByTracer := make(map[*Tracer]time.Duration)
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		for i := range t.events {
+			order = append(order, ref{t: t, idx: i})
+		}
+		if _, ok := attrsByTracer[t]; !ok {
+			m := make(map[SpanID][]int, len(t.attrs))
+			for i, a := range t.attrs {
+				m[a.event] = append(m[a.event], i)
+			}
+			attrsByTracer[t] = m
+			nowByTracer[t] = t.e.Now()
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := &order[a].t.events[order[a].idx], &order[b].t.events[order[b].idx]
+		if ea.start != eb.start {
+			return ea.start < eb.start
+		}
+		if order[a].t.shard != order[b].t.shard {
+			return order[a].t.shard < order[b].t.shard
+		}
+		return ea.seq < eb.seq
+	})
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	for n, r := range order {
+		if n > 0 {
+			bw.WriteByte(',')
+		}
+		r.t.writeEvent(bw, r.idx, attrsByTracer[r.t][SpanID(r.idx+1)], nowByTracer[r.t])
+	}
+	bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
 func (t *Tracer) writeEvent(bw *bufio.Writer, idx int, attrIdx []int, now time.Duration) {
 	ev := &t.events[idx]
 	bw.WriteString("\n{\"name\":")
@@ -78,7 +132,9 @@ func (t *Tracer) writeEvent(bw *bufio.Writer, idx int, attrIdx []int, now time.D
 		bw.WriteString(",\"ph\":\"C\",\"ts\":")
 		writeMicros(bw, ev.start)
 	}
-	bw.WriteString(",\"pid\":0,\"tid\":")
+	bw.WriteString(",\"pid\":")
+	bw.WriteString(strconv.FormatInt(int64(t.shard), 10))
+	bw.WriteString(",\"tid\":")
 	bw.WriteString(strconv.FormatInt(int64(ev.track), 10))
 	if ev.kind == kindCounter {
 		bw.WriteString(",\"args\":{\"value\":")

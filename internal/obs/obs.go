@@ -146,8 +146,28 @@ type attr struct {
 type Tracer struct {
 	e      *sim.Engine
 	seq    int64
+	shard  int32
 	events []tevent
 	attrs  []attr
+}
+
+// SetShard tags every event this tracer records with a shard identity. The
+// tag becomes the Chrome-trace process ID on export, so a sharded run's
+// per-shard tracers merge (ExportMerged) into one trace with one process
+// lane per shard. Returns the tracer for chaining off Attach.
+func (t *Tracer) SetShard(shard int32) *Tracer {
+	if t != nil {
+		t.shard = shard
+	}
+	return t
+}
+
+// Shard returns the tracer's shard tag (0 unless SetShard was called).
+func (t *Tracer) Shard() int32 {
+	if t == nil {
+		return 0
+	}
+	return t.shard
 }
 
 // Attach creates a tracer, installs it in the engine's Obs slot, and returns

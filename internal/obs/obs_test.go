@@ -261,3 +261,62 @@ func TestExportNilTracerAndEscaping(t *testing.T) {
 		t.Fatalf("name round-trip = %q", got)
 	}
 }
+
+func TestSetShardAndExportMerged(t *testing.T) {
+	mk := func(shard int32, offset time.Duration) (*sim.Engine, *Tracer) {
+		e := sim.NewEngine()
+		tr := Attach(e).SetShard(shard)
+		e.Schedule(offset, func() {
+			id := tr.Begin(CatCompute, "work")
+			e.Schedule(time.Millisecond, func() { tr.End(id) })
+		})
+		e.Run(0)
+		return e, tr
+	}
+	e0, t0 := mk(0, 2*time.Millisecond)
+	defer e0.Close()
+	e1, t1 := mk(1, time.Millisecond)
+	defer e1.Close()
+	if t0.Shard() != 0 || t1.Shard() != 1 {
+		t.Fatalf("shard tags %d/%d, want 0/1", t0.Shard(), t1.Shard())
+	}
+	var nilTr *Tracer
+	if nilTr.SetShard(3).Shard() != 0 {
+		t.Fatal("nil tracer SetShard should no-op")
+	}
+	var buf bytes.Buffer
+	if err := ExportMerged(&buf, t0, nil, t1); err != nil {
+		t.Fatalf("ExportMerged: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("merged export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(ct.TraceEvents) != 2 {
+		t.Fatalf("merged trace has %d events, want 2", len(ct.TraceEvents))
+	}
+	// Shard 1's span starts earlier, so it must come first; each event's pid
+	// is its tracer's shard tag.
+	if pid := ct.TraceEvents[0]["pid"].(float64); pid != 1 {
+		t.Fatalf("first merged event pid = %v, want 1 (earlier start)", pid)
+	}
+	if pid := ct.TraceEvents[1]["pid"].(float64); pid != 0 {
+		t.Fatalf("second merged event pid = %v, want 0", pid)
+	}
+	// Single-tracer Export carries the shard tag as pid too.
+	var single bytes.Buffer
+	if err := t1.Export(&single); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(single.String(), "\"pid\":1") {
+		t.Fatalf("single export missing shard pid:\n%s", single.String())
+	}
+	// Empty merge is a valid trace.
+	var empty bytes.Buffer
+	if err := ExportMerged(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "traceEvents") {
+		t.Fatalf("empty merge invalid: %s", empty.String())
+	}
+}

@@ -40,6 +40,8 @@ type Engine struct {
 
 	// nonDaemon counts queued non-daemon events; Run(0) stops at zero.
 	nonDaemon int
+	// executed counts executed events (ShardUtil reporting).
+	executed int64
 
 	// free holds retired process shells whose goroutines are parked awaiting
 	// reuse. Access follows the same single-runner discipline as the event
@@ -63,6 +65,23 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// NextEventAt returns the virtual time of the earliest pending event (daemon
+// or not) and whether one exists. Shard coordinators use it to derive the
+// next conservative lookahead window.
+func (e *Engine) NextEventAt() (time.Duration, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// PendingNonDaemon returns the number of queued non-daemon events — the
+// work that keeps Run(0) (and a ShardGroup run) alive.
+func (e *Engine) PendingNonDaemon() int { return e.nonDaemon }
+
+// Executed returns the cumulative count of events this engine has executed.
+func (e *Engine) Executed() int64 { return e.executed }
 
 // Reserve pre-sizes the event heap for at least events pending entries, so a
 // large replay does not grow the heap incrementally.
@@ -211,6 +230,7 @@ func (e *Engine) Run(until time.Duration) time.Duration {
 			return e.now
 		}
 		next := e.events.pop()
+		e.executed++
 		if !next.daemon {
 			e.nonDaemon--
 		}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// logEntry records one observed handler/proc action for determinism
+// comparisons. Each shard appends only to its own slice (single-threaded
+// within a shard), and logs are merged by (time, shard, local order) — the
+// same total order the group's mail merge defines.
+type logEntry struct {
+	at    time.Duration
+	shard int
+	msg   string
+}
+
+func mergeLogs(perShard [][]logEntry) []logEntry {
+	var all []logEntry
+	for _, l := range perShard {
+		all = append(all, l...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].shard < all[j].shard
+	})
+	return all
+}
+
+func TestMailboxDeliveryTimeExact(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	var got []time.Duration
+	dst := g.Shard(1)
+	box := g.NewMailbox(g.Shard(0), dst, 7*time.Millisecond, func(payload any) {
+		got = append(got, dst.Engine().Now())
+	})
+	g.Shard(0).Engine().Go("sender", func(p *Proc) {
+		box.Send(0)
+		p.Sleep(3 * time.Millisecond)
+		box.Send(1)
+		box.Close()
+	})
+	g.RunSequential()
+	want := []time.Duration{7 * time.Millisecond, 10 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("deliveries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMailboxPreservesSendOrder(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	var got []int
+	box := g.NewMailbox(g.Shard(0), g.Shard(1), time.Millisecond, func(payload any) {
+		got = append(got, payload.(int))
+	})
+	g.Shard(0).Engine().Go("sender", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			box.Send(i)
+		}
+		box.Close()
+	})
+	g.Run()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d = %d, want %d (send order violated)", i, v, i)
+		}
+	}
+}
+
+// pingPong wires two shards that bounce a counter back and forth across
+// mailboxes until it reaches rounds, logging every receipt.
+func pingPong(g *ShardGroup, rounds int, logs [][]logEntry) {
+	a, b := g.Shard(0), g.Shard(1)
+	var ab, ba *Mailbox
+	ab = g.NewMailbox(a, b, 2*time.Millisecond, func(payload any) {
+		n := payload.(int)
+		logs[1] = append(logs[1], logEntry{b.Engine().Now(), 1, fmt.Sprintf("recv %d", n)})
+		if n >= rounds {
+			ba.Close()
+			return
+		}
+		ba.Send(n + 1)
+	})
+	ba = g.NewMailbox(b, a, 3*time.Millisecond, func(payload any) {
+		n := payload.(int)
+		logs[0] = append(logs[0], logEntry{a.Engine().Now(), 0, fmt.Sprintf("recv %d", n)})
+		if n >= rounds {
+			ab.Close()
+			return
+		}
+		ab.Send(n + 1)
+	})
+	a.Engine().Go("kick", func(p *Proc) { ab.Send(1) })
+}
+
+func TestShardGroupPingPong(t *testing.T) {
+	run := func(parallel bool) []logEntry {
+		g := NewShardGroup(2)
+		defer g.Close()
+		logs := make([][]logEntry, 2)
+		pingPong(g, 20, logs)
+		if parallel {
+			g.Run()
+		} else {
+			g.RunSequential()
+		}
+		return mergeLogs(logs)
+	}
+	seq := run(false)
+	par := run(true)
+	if len(seq) != 20 {
+		t.Fatalf("sequential run logged %d receipts, want 20", len(seq))
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel logged %d receipts, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("log %d: parallel %+v != sequential %+v", i, par[i], seq[i])
+		}
+	}
+}
+
+// TestShardGroupRandomizedDeterminism drives a randomized multi-shard
+// messaging topology and checks that parallel and sequential executions
+// produce identical merged logs for every seed.
+func TestShardGroupRandomizedDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		build := func(g *ShardGroup, logs [][]logEntry) {
+			rng := rand.New(rand.NewSource(seed))
+			n := g.Shards()
+			// A ring of mailboxes plus a few random chords. outs[i] lists
+			// shard i's outgoing mailboxes: a handler running on shard i may
+			// only Send on those (the sender side of a mailbox is
+			// single-threaded).
+			outs := make([][]*Mailbox, n)
+			handler := func(sh *Shard, hop int) func(any) {
+				return func(payload any) {
+					v := payload.(int)
+					logs[sh.ID()] = append(logs[sh.ID()], logEntry{sh.Engine().Now(), sh.ID(), fmt.Sprintf("hop%d recv %d", hop, v)})
+					if mine := outs[sh.ID()]; v > 0 && len(mine) > 0 {
+						mine[(hop+v)%len(mine)].Send(v - 1)
+					}
+				}
+			}
+			add := func(from, to *Shard, hop int) {
+				lat := time.Duration(1+rng.Intn(5)) * time.Millisecond
+				outs[from.ID()] = append(outs[from.ID()], g.NewMailbox(from, to, lat, handler(to, hop)))
+			}
+			for i := 0; i < n; i++ {
+				add(g.Shard(i), g.Shard((i+1)%n), i)
+			}
+			for i := 0; i < n; i++ {
+				from, to := g.Shard(rng.Intn(n)), g.Shard(rng.Intn(n))
+				if from != to {
+					add(from, to, n+i)
+				}
+			}
+			// Each shard runs local work, seeds the message flood on its own
+			// outboxes, and closes them once the flood has provably died out
+			// (hop counts drop to zero well before the 10s mark).
+			for i := 0; i < n; i++ {
+				sh := g.Shard(i)
+				hops := 5 + rng.Intn(10)
+				sh.Engine().Go("local", func(p *Proc) {
+					for h := 0; h < hops; h++ {
+						p.Sleep(time.Duration(1+h) * time.Millisecond)
+						logs[sh.ID()] = append(logs[sh.ID()], logEntry{p.Now(), sh.ID(), "tick"})
+					}
+					for _, b := range outs[sh.ID()] {
+						b.Send(200)
+					}
+					p.Sleep(10 * time.Second)
+					for _, b := range outs[sh.ID()] {
+						b.Close()
+					}
+				})
+			}
+		}
+		run := func(parallel bool) []logEntry {
+			g := NewShardGroup(4)
+			defer g.Close()
+			logs := make([][]logEntry, 4)
+			build(g, logs)
+			if parallel {
+				g.Run()
+			} else {
+				g.RunSequential()
+			}
+			return mergeLogs(logs)
+		}
+		seq := run(false)
+		par := run(true)
+		if len(seq) == 0 {
+			t.Fatalf("seed %d: empty log", seed)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("seed %d: parallel %d entries, sequential %d", seed, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("seed %d log %d: parallel %+v != sequential %+v", seed, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestShardGroupUtil(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	logs := make([][]logEntry, 2)
+	pingPong(g, 10, logs)
+	g.Run()
+	util := g.Util()
+	if len(util) != 2 {
+		t.Fatalf("got %d util rows, want 2", len(util))
+	}
+	for _, u := range util {
+		if u.Windows == 0 {
+			t.Fatalf("shard %d executed no windows", u.Shard)
+		}
+		if u.Events == 0 {
+			t.Fatalf("shard %d executed no events", u.Shard)
+		}
+		if s := u.String(); s == "" {
+			t.Fatal("empty util summary")
+		}
+	}
+	if g.Wall() <= 0 {
+		t.Fatal("group wall-clock time not recorded")
+	}
+}
+
+func TestShardGroupSingleShardDrains(t *testing.T) {
+	g := NewShardGroup(1)
+	defer g.Close()
+	ran := false
+	g.Shard(0).Engine().Go("work", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		ran = true
+	})
+	g.Run()
+	if !ran {
+		t.Fatal("single-shard group did not drain its engine")
+	}
+	if now := g.Shard(0).Engine().Now(); now != 5*time.Millisecond {
+		t.Fatalf("clock %v, want 5ms", now)
+	}
+}
+
+func TestMailboxPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewShardGroup(2)
+	defer g.Close()
+	expectPanic("zero latency", func() {
+		g.NewMailbox(g.Shard(0), g.Shard(1), 0, func(any) {})
+	})
+	expectPanic("same shard", func() {
+		g.NewMailbox(g.Shard(0), g.Shard(0), time.Millisecond, func(any) {})
+	})
+	expectPanic("nil handler", func() {
+		g.NewMailbox(g.Shard(0), g.Shard(1), time.Millisecond, nil)
+	})
+	other := NewShardGroup(1)
+	defer other.Close()
+	expectPanic("foreign shard", func() {
+		g.NewMailbox(g.Shard(0), other.Shard(0), time.Millisecond, func(any) {})
+	})
+	box := g.NewMailbox(g.Shard(0), g.Shard(1), time.Millisecond, func(any) {})
+	box.Close()
+	if !box.Closed() {
+		t.Fatal("mailbox not closed")
+	}
+	panicked := false
+	g.Shard(0).Engine().Go("sender", func(p *Proc) {
+		defer func() { panicked = recover() != nil }()
+		box.Send(1)
+	})
+	g.Run()
+	if !panicked {
+		t.Fatal("send on closed mailbox did not panic")
+	}
+	expectPanic("zero shards", func() { NewShardGroup(0) })
+	expectPanic("wire after run", func() {
+		g.NewMailbox(g.Shard(0), g.Shard(1), time.Millisecond, func(any) {})
+	})
+}

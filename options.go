@@ -7,6 +7,7 @@ type simOptions struct {
 	trace    bool
 	faults   bool
 	coalesce bool
+	shards   int
 }
 
 func defaultSimOptions() simOptions { return simOptions{nodes: 1} }
@@ -41,6 +42,12 @@ func WithScaleDefaults() Option {
 		o.seed = 42
 	}
 }
+
+// WithShards sets the number of engine shards ReplayScaleOut executes the
+// pod fleet on (default 1, the single-shard determinism oracle). It is a
+// pure execution knob: shard counts change wall-clock time only, never
+// results — ReplayScaleOut output is byte-identical for any value.
+func WithShards(n int) Option { return func(o *simOptions) { o.shards = n } }
 
 // WithCoalescing enables fan-out-aware transfer coalescing in planes built
 // by Sim.NewGRouter without an explicit Config: concurrent Gets of one
