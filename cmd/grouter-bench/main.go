@@ -31,6 +31,8 @@ func main() {
 	faultStats := flag.Bool("faultstats", false, "print fault-injection and recovery counters after the runs")
 	spanStats := flag.Bool("span-stats", false, "print a per-request critical-path latency breakdown and exit")
 	fanout := flag.Bool("fanout", false, "run the fan-out coalescing experiment (shorthand for -run ext-fanout)")
+	routerRun := flag.Bool("router", false, "run the full-size routed-admission comparison (ext-router at -scale-requests) and exit")
+	routerStats := flag.Bool("router-stats", false, "replay the bursty pattern routed at -scale-requests with a 10% QoSHigh mix and print the router's decision counters")
 	scale := flag.Bool("scale", false, "run the full-size scale replay (ext-scale at -scale-requests) and exit")
 	scaleRequests := flag.Int("scale-requests", 100_000, "request count for the largest -scale replays")
 	scaleShards := flag.Int("scale-shards", 0, "with -scale: replay the 8-pod scale-out fleet on this many engine shards instead of the single-cluster replay")
@@ -106,6 +108,20 @@ func main() {
 		} else {
 			fmt.Println(experiments.ScaleTable(*scaleRequests).Format())
 		}
+		return
+	}
+	if *routerRun {
+		// Virtual-time table: byte-identical across runs of the same build.
+		fmt.Println(experiments.RouterTable(*scaleRequests).Format())
+		return
+	}
+	if *routerStats {
+		st, rs := experiments.RouterStatsRun(*scaleRequests)
+		fmt.Printf("routed replay: %d requests (1 in 10 QoSHigh), completed %d\n", st.Requests, st.Completed)
+		fmt.Printf("  virtual: dur=%v tput=%.1f req/s p50=%v p99=%v\n",
+			st.Duration.Round(time.Millisecond), st.Throughput, st.P50, st.P99)
+		fmt.Printf("  router: decisions=%d refreshes=%d failovers=%d retries=%d fallbacks=%d crashes=%d\n",
+			rs.Decisions, rs.Refreshes, rs.Failovers, rs.Retries, rs.Fallbacks, rs.Crashes)
 		return
 	}
 	if *fanout {

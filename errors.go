@@ -3,6 +3,7 @@ package grouter
 import (
 	"grouter/internal/core"
 	"grouter/internal/dataplane"
+	"grouter/internal/router"
 	"grouter/internal/xfer"
 )
 
@@ -23,4 +24,9 @@ var (
 	ErrDeadline = xfer.ErrDeadline
 	// ErrAccessDenied: a function read data belonging to another workflow.
 	ErrAccessDenied = core.ErrAccessDenied
+	// ErrNoWorker: routing found no healthy placement (zero workers or
+	// every candidate crashed); integrated routing falls back to
+	// round-robin instead of surfacing it, so it is seen directly only by
+	// router.RouteRequest callers.
+	ErrNoWorker = router.ErrNoWorker
 )

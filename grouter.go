@@ -33,6 +33,7 @@ import (
 	"grouter/internal/kvcache"
 	"grouter/internal/models"
 	"grouter/internal/obs"
+	"grouter/internal/router"
 	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
@@ -96,6 +97,22 @@ type (
 	// Crasher is anything whose GPUs a FaultInjector can crash; both the
 	// GROUTER plane and the runtime's planes implement it.
 	Crasher = faults.Crasher
+	// Router is the scored front-door request router; attach one to a
+	// deployed app with Sim.NewRouter.
+	Router = router.Router
+	// RouterConfig tunes a Router (scoring weights, top-k, snapshot
+	// refresh, QoS aging, crash blacklist).
+	RouterConfig = router.Config
+	// RouterWeights are the router's multi-objective scoring coefficients.
+	RouterWeights = router.Weights
+	// RouterStats counts a Router's decisions, refreshes, and failovers.
+	RouterStats = router.Stats
+	// WorkerState is one worker's entry in the router's metrics snapshot.
+	WorkerState = router.WorkerState
+	// QoS is a request priority class (QoSHigh skips QoSLow in worker
+	// queues); set a replay's mix with ReplayOptions.HighEvery or invoke
+	// one request with App.InvokeQoS.
+	QoS = cluster.QoS
 	// TraceSpec parameterizes synthetic arrival-trace generation.
 	TraceSpec = trace.Spec
 	// TracePattern selects the arrival process shape.
@@ -112,6 +129,20 @@ type (
 
 // HostGPU marks host memory in a Location.
 const HostGPU = fabric.HostGPU
+
+// Request priority classes (see QoS).
+const (
+	QoSLow  = cluster.QoSLow
+	QoSHigh = cluster.QoSHigh
+)
+
+// DefaultRouterConfig returns the scored production router configuration.
+func DefaultRouterConfig() RouterConfig { return router.DefaultConfig() }
+
+// UniformRouterConfig returns the degenerate router configuration whose
+// admission is byte-identical to placement-only round-robin (the
+// differential oracle's configuration).
+func UniformRouterConfig() RouterConfig { return router.Uniform() }
 
 // Arrival-trace patterns (TraceSpec.Pattern).
 const (
@@ -251,6 +282,31 @@ func (s *Sim) NewCluster(mkPlane func(s *Sim) Plane) *Runtime {
 	return cluster.NewOnFabric(s.Fabric, 1, func(*fabric.Fabric) dataplane.Plane {
 		return mkPlane(s)
 	})
+}
+
+// NewRouter attaches a scored front-door router to a deployed app: stage
+// activations route to the best-scored healthy pool instance instead of
+// round-robin. The configuration comes from, in precedence order, the
+// explicit argument, WithRouter's value, or DefaultRouterConfig. When the
+// Sim carries a fault injector (WithFaults), the router subscribes to its
+// GPU crash signals and fails over away from crashed workers:
+//
+//	app := c.Deploy(grouter.DrivingWorkflow(), 0, grouter.PlaceOptions{Node: 0})
+//	rt := s.NewRouter(app)
+//	app.ReplayTrace(arrivals, grouter.ReplayOptions{HighEvery: 10})
+func (s *Sim) NewRouter(app *App, cfg ...RouterConfig) *Router {
+	c := router.DefaultConfig()
+	if s.opts.router {
+		c = s.opts.routerCfg
+	}
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	r := router.New(app, c)
+	if s.injector != nil {
+		r.WatchFaults(s.injector)
+	}
+	return r
 }
 
 // NewKVCluster builds an n-node LLM KV-cache benchmark cluster on this

@@ -43,13 +43,19 @@ func (a *App) poolOf(si scheduler.StageInst) []fabric.Location {
 	return a.poolsMap()[si]
 }
 
-// instanceFor picks the pool member serving request seq (round-robin).
+// instanceFor picks the pool member serving request seq: the Route hook when
+// one is installed (falling back on a declined pick), round-robin otherwise.
 func (a *App) instanceFor(si scheduler.StageInst, seq int64) (fabric.Location, int) {
 	pool := a.poolOf(si)
 	if len(pool) == 0 {
 		// Stage instances always have a base placement; an empty pool is a
 		// deployment bug.
 		panic("cluster: no instances for " + si.String())
+	}
+	if a.Route != nil {
+		if idx, ok := a.Route(si, seq, pool); ok && idx >= 0 && idx < len(pool) {
+			return pool[idx], idx
+		}
 	}
 	idx := int(seq) % len(pool)
 	return pool[idx], idx

@@ -18,16 +18,50 @@ type Batcher struct {
 	// MaxWait bounds how long the first queued request waits for company.
 	MaxWait time.Duration
 
+	// Adaptive, when enabled, adapts the dispatch threshold and wait to
+	// queue pressure instead of using the fixed MaxBatch/MaxWait corner.
+	Adaptive AdaptiveBatching
+
 	queue []*pendingReq
 	// dispatching marks an armed timeout/dispatch cycle.
 	dispatching bool
+	// iaGap is the inter-arrival-gap EWMA (ns) driving the adaptive control
+	// law; lastAt/seen track the previous arrival.
+	iaGap  float64
+	lastAt time.Duration
+	seen   bool
 
 	// Dispatches counts batched invocations; Batched sums logical requests
 	// served, so Batched/Dispatches is the achieved mean batch size.
 	Dispatches int64
 	Batched    int64
+	// EffBatch and EffWait expose the adaptive controller's latest dispatch
+	// threshold and timeout (diagnostics; fixed MaxBatch/MaxWait otherwise).
+	EffBatch int
+	EffWait  time.Duration
 	// Latency records logical-request latency including queueing delay.
 	Latency *timeLatency
+}
+
+// AdaptiveBatching is the micro-batching control law: the dispatch threshold
+// and timeout interpolate between (MinBatch, MinWait) and the batcher's
+// (MaxBatch, MaxWait) corners as arrival pressure rises. Pressure is the
+// expected number of arrivals in one MaxWait window — an EWMA of the
+// arrival rate times MaxWait — normalized by MaxBatch and clamped to 1.
+// Under light load a lone request dispatches immediately in a batch of one
+// (latency); under a burst the threshold climbs toward MaxBatch so
+// dispatches amortize (throughput), with the timeout as the backstop in
+// between. Queue depth cannot drive the law — dispatch drains the queue at
+// the threshold, capping any depth signal — so the rate is the input, as in
+// BATCH-style serverless batchers.
+type AdaptiveBatching struct {
+	Enabled bool
+	// MinBatch floors the adaptive dispatch threshold (default 1).
+	MinBatch int
+	// MinWait is the timeout at zero pressure (default MaxWait/4).
+	MinWait time.Duration
+	// Alpha is the arrival-gap EWMA smoothing factor in (0,1]; default 0.3.
+	Alpha float64
 }
 
 // timeLatency is a tiny wrapper so Batcher can record per-request latency
@@ -75,19 +109,79 @@ func NewBatcher(app *App, maxBatch int, maxWait time.Duration) *Batcher {
 	return &Batcher{App: app, MaxBatch: maxBatch, MaxWait: maxWait, Latency: &timeLatency{}}
 }
 
+// SetAdaptive enables (or reconfigures) adaptive micro-batching.
+func (b *Batcher) SetAdaptive(cfg AdaptiveBatching) { b.Adaptive = cfg }
+
+// adapt folds the arrival at virtual time now into the gap EWMA and returns
+// the dispatch threshold and timeout for the current pressure.
+func (b *Batcher) adapt(now time.Duration) (thresh int, wait time.Duration) {
+	a := b.Adaptive
+	alpha := a.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if b.seen {
+		gap := float64(now - b.lastAt)
+		if b.iaGap == 0 {
+			b.iaGap = gap
+		} else {
+			b.iaGap = (1-alpha)*b.iaGap + alpha*gap
+		}
+	}
+	measured := b.seen
+	b.lastAt, b.seen = now, true
+	// pressure = expected arrivals per MaxWait window / MaxBatch. A zero
+	// mean gap after at least one measurement means simultaneous arrivals —
+	// saturation. Before any gap exists (the very first request) pressure
+	// is zero, so a cold lone request departs immediately.
+	pressure := 0.0
+	if measured {
+		if b.iaGap > 0 {
+			pressure = float64(b.MaxWait) / b.iaGap / float64(b.MaxBatch)
+		} else {
+			pressure = 1
+		}
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	minB := a.MinBatch
+	if minB < 1 {
+		minB = 1
+	}
+	if minB > b.MaxBatch {
+		minB = b.MaxBatch
+	}
+	minW := a.MinWait
+	if minW <= 0 {
+		minW = b.MaxWait / 4
+	}
+	if minW > b.MaxWait {
+		minW = b.MaxWait
+	}
+	thresh = minB + int(pressure*float64(b.MaxBatch-minB)+0.5)
+	wait = minW + time.Duration(pressure*float64(b.MaxWait-minW))
+	b.EffBatch, b.EffWait = thresh, wait
+	return thresh, wait
+}
+
 // Submit enqueues one logical request and returns a signal fired when its
 // batch completes. Must be called from event or process context.
 func (b *Batcher) Submit() *sim.Signal {
 	e := b.App.C.Engine
 	req := &pendingReq{arrived: e.Now(), done: sim.NewSignal(e)}
 	b.queue = append(b.queue, req)
-	if len(b.queue) >= b.MaxBatch {
+	thresh, wait := b.MaxBatch, b.MaxWait
+	if b.Adaptive.Enabled {
+		thresh, wait = b.adapt(e.Now())
+	}
+	if len(b.queue) >= thresh {
 		b.dispatch()
 		return req.done
 	}
 	if !b.dispatching {
 		b.dispatching = true
-		e.Schedule(b.MaxWait, func() {
+		e.Schedule(wait, func() {
 			b.dispatching = false
 			if len(b.queue) > 0 {
 				b.dispatch()

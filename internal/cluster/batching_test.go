@@ -105,3 +105,76 @@ func TestBatcherMeanBatchEmpty(t *testing.T) {
 		t.Error("empty latency percentile should be 0")
 	}
 }
+
+func TestAdaptiveBatcherLoneRequestSkipsTheWait(t *testing.T) {
+	// A lone request under light load must not pay the fixed batcher's full
+	// MaxWait: at near-zero pressure the adaptive threshold floors at
+	// MinBatch 1, so the request dispatches immediately.
+	lat := func(adaptive bool) time.Duration {
+		e, b := newBatchedApp(t, 16, 8*time.Millisecond)
+		defer e.Close()
+		if adaptive {
+			b.SetAdaptive(AdaptiveBatching{Enabled: true})
+		}
+		e.Schedule(0, func() { b.Submit() })
+		e.Run(0)
+		return b.Latency.P(0)
+	}
+	fixed, adapt := lat(false), lat(true)
+	if !(fixed >= 8*time.Millisecond) {
+		t.Fatalf("fixed batcher latency %v did not include the %v wait", fixed, 8*time.Millisecond)
+	}
+	if !(adapt < fixed-7*time.Millisecond) {
+		t.Errorf("adaptive lone-request latency %v did not skip the wait (fixed %v)", adapt, fixed)
+	}
+}
+
+func TestAdaptiveBatcherBurstClimbsToMaxBatch(t *testing.T) {
+	// Sustained backlog drives the pressure EWMA to 1, so the dispatch
+	// threshold must climb to MaxBatch and batches amortize.
+	e, b := newBatchedApp(t, 8, 5*time.Millisecond)
+	defer e.Close()
+	b.SetAdaptive(AdaptiveBatching{Enabled: true})
+	const n = 120
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * 50 * time.Microsecond
+		e.Schedule(at, func() { b.Submit() })
+	}
+	e.Run(0)
+	if b.Batched != n {
+		t.Fatalf("batched = %d, want %d", b.Batched, n)
+	}
+	if b.EffBatch != b.MaxBatch {
+		t.Errorf("effective threshold = %d, want MaxBatch %d under sustained backlog", b.EffBatch, b.MaxBatch)
+	}
+	if mean := b.MeanBatch(); mean < float64(b.MaxBatch)/2 {
+		t.Errorf("mean batch %.1f under burst, want >= %0.f", mean, float64(b.MaxBatch)/2)
+	}
+}
+
+func TestAdaptiveBatcherDeterministic(t *testing.T) {
+	// The control law is pure state over virtual time: two identical runs
+	// must produce identical dispatch counts and latency percentiles.
+	run := func() (int64, float64, time.Duration) {
+		e, b := newBatchedApp(t, 8, 4*time.Millisecond)
+		defer e.Close()
+		b.SetAdaptive(AdaptiveBatching{Enabled: true, MinWait: time.Millisecond, Alpha: 0.3})
+		arrivals := trace.Generate(trace.Spec{
+			Pattern: trace.Bursty, Duration: 2 * time.Second, MeanRPS: 300, Seed: 9,
+		})
+		for _, at := range arrivals {
+			at := at
+			e.Schedule(at, func() { b.Submit() })
+		}
+		e.Run(0)
+		return b.Dispatches, b.MeanBatch(), b.Latency.P(0.99)
+	}
+	d1, m1, p1 := run()
+	d2, m2, p2 := run()
+	if d1 != d2 || m1 != m2 || p1 != p2 {
+		t.Errorf("adaptive batching diverged: (%d %.2f %v) vs (%d %.2f %v)", d1, m1, p1, d2, m2, p2)
+	}
+	if d1 == 0 {
+		t.Fatal("no dispatches")
+	}
+}

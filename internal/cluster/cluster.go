@@ -25,6 +25,26 @@ import (
 // HostSlots is the number of cFns a node's CPUs run concurrently.
 const HostSlots = 16
 
+// QoS is a request priority class. High-priority requests skip low-priority
+// ones in GPU compute-slot queues (see sim.Resource.AcquirePri); with queue
+// aging enabled (Cluster.SetQueueAging) skipped low-priority requests age up
+// one class per aging period, bounding starvation.
+type QoS int8
+
+const (
+	// QoSLow is the default class; it matches the pre-QoS FIFO behavior.
+	QoSLow QoS = 0
+	// QoSHigh skips QoSLow in worker queues.
+	QoSHigh QoS = 1
+)
+
+// RouteFn picks the pool member serving one stage activation of one request:
+// it returns an index into pool and true, or false to fall back to the
+// default round-robin (seq mod pool size). The front-door router installs
+// its scored pick here; the hook runs in event context and must be
+// deterministic in virtual time.
+type RouteFn func(si scheduler.StageInst, seq int64, pool []fabric.Location) (int, bool)
+
 // Cluster couples a fabric, a data plane, compute resources, and a placer.
 type Cluster struct {
 	Engine *sim.Engine
@@ -32,6 +52,12 @@ type Cluster struct {
 	Plane  dataplane.Plane
 	Placer *scheduler.Placer
 	Class  models.Class
+
+	// OnGPUService, when non-nil, observes every GPU compute-slot hold
+	// (node, gpu, held duration) at release time. The request router feeds
+	// its per-worker EWMA service latency and utilization from it; the hook
+	// must not start simulation activity.
+	OnGPUService func(node, gpu int, held time.Duration)
 
 	gpus  [][]*sim.Resource
 	hosts []*sim.Resource
@@ -148,6 +174,11 @@ type App struct {
 	pools       map[scheduler.StageInst][]fabric.Location
 	scaleEvents int64
 
+	// Route, when non-nil, overrides the round-robin pool-member selection
+	// for every stage activation (the front-door router installs itself
+	// here; see RouteFn).
+	Route RouteFn
+
 	// Breakdown, when non-nil, records a per-request critical-path latency
 	// attribution (see EnableBreakdown).
 	Breakdown *Breakdown
@@ -203,6 +234,15 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 	return done
 }
 
+// InvokeQoS starts one request in the given priority class (at the app's
+// deployed batch size) and returns a signal fired at completion. QoSHigh
+// requests skip QoSLow ones in GPU compute-slot queues.
+func (a *App) InvokeQoS(q QoS) *sim.Signal {
+	done := sim.NewSignal(a.C.Engine)
+	a.startQoS(a.Batch, done, q)
+	return done
+}
+
 // inputsOf lists the producer instances feeding replica r of stage s.
 func (a *App) inputsOf(s *workflow.Stage, r int) []instIn {
 	var out []instIn
@@ -245,6 +285,24 @@ func (c *Cluster) resourceAt(loc fabric.Location) *sim.Resource {
 		return c.hosts[loc.Node]
 	}
 	return c.gpus[loc.Node][loc.GPU]
+}
+
+// GPULoad reports one GPU's compute-slot load: processes waiting to acquire
+// and slots currently held. It is the router's queue-depth signal.
+func (c *Cluster) GPULoad(node, gpu int) (waiting, held int) {
+	r := c.gpus[node][gpu]
+	return r.QueueLen(), r.InUse()
+}
+
+// SetQueueAging enables priority aging on every GPU compute-slot queue: a
+// waiting request's effective QoS class rises one level per d waited, so
+// sustained QoSHigh load cannot starve QoSLow requests.
+func (c *Cluster) SetQueueAging(d time.Duration) {
+	for _, row := range c.gpus {
+		for _, r := range row {
+			r.SetAging(d)
+		}
+	}
 }
 
 // RunTrace submits one request per arrival offset and returns when the

@@ -163,6 +163,7 @@ type reqState struct {
 	app       *App
 	seq       int64
 	batch     int
+	qos       QoS
 	start     time.Duration
 	remaining int
 	// done fires at request completion; nil when the submitter doesn't wait
@@ -217,13 +218,18 @@ func (a *App) releaseReqState(st *reqState) {
 	st.done = nil
 	st.rng = nil
 	st.costs = nil
+	st.qos = QoSLow
 	st.xferGPU, st.xferHost, st.compute = 0, 0, 0
 	a.freeStates = append(a.freeStates, st)
 }
 
 // start launches one request at the given batch size. done may be nil when
 // no submitter waits on completion.
-func (a *App) start(batch int, done *sim.Signal) {
+func (a *App) start(batch int, done *sim.Signal) { a.startQoS(batch, done, QoSLow) }
+
+// startQoS is start with an explicit priority class carried into every GPU
+// compute-slot acquisition of the request.
+func (a *App) startQoS(batch int, done *sim.Signal, qos QoS) {
 	if batch <= 0 {
 		batch = a.Batch
 	}
@@ -234,6 +240,7 @@ func (a *App) start(batch int, done *sim.Signal) {
 	st := a.takeReqState()
 	st.seq = seq
 	st.batch = batch
+	st.qos = qos
 	st.start = c.Engine.Now()
 	st.done = done
 	st.remaining = len(pl.insts)
@@ -344,8 +351,9 @@ func (ac *activation) Run(p *sim.Proc) {
 	if !skipped {
 		res := c.resourceAt(ac.loc)
 		qStart := p.Now()
-		res.Acquire(p)
-		obs.Account(p, obs.CatQueue, p.Now()-qStart)
+		res.AcquirePri(p, int32(st.qos))
+		heldAt := p.Now()
+		obs.Account(p, obs.CatQueue, heldAt-qStart)
 		wStart := p.Now()
 		a.ensureWarm(p, pi.si, ac.poolIdx, s.Model.WeightsBytes)
 		obs.Account(p, obs.CatSetup, p.Now()-wStart)
@@ -394,6 +402,9 @@ func (ac *activation) Run(p *sim.Proc) {
 			out = ref
 		}
 		res.Release()
+		if c.OnGPUService != nil && !ac.loc.IsHost() {
+			c.OnGPUService(ac.loc.Node, ac.loc.GPU, p.Now()-heldAt)
+		}
 	}
 	// Release inputs whether consumed or skipped.
 	for k := range pi.inputs {

@@ -16,6 +16,10 @@ type ReplayOptions struct {
 	// whole batches instead of reacting to each request. Zero (or negative)
 	// replays every arrival at its exact offset.
 	Quantum time.Duration
+	// HighEvery admits every n-th request (1-indexed, in trace order) as
+	// QoSHigh, so a replay carries a deterministic priority mix; zero
+	// admits everything QoSLow, the pre-QoS behavior.
+	HighEvery int
 }
 
 // ReplayStats summarizes one replayed trace in virtual time.
@@ -39,11 +43,17 @@ func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplaySta
 	e := a.C.Engine
 	base := e.Now()
 	before := a.Completed
+	qosOf := func(i int) QoS {
+		if opt.HighEvery > 0 && (i+1)%opt.HighEvery == 0 {
+			return QoSHigh
+		}
+		return QoSLow
+	}
 	if opt.Quantum <= 0 {
 		e.Reserve(len(arrivals) + 64)
-		for _, at := range arrivals {
-			at := at
-			e.Schedule(at, func() { a.start(a.Batch, nil) })
+		for i, at := range arrivals {
+			i, at := i, at
+			e.Schedule(at, func() { a.startQoS(a.Batch, nil, qosOf(i)) })
 		}
 	} else if len(arrivals) > 0 {
 		q := opt.Quantum
@@ -56,7 +66,7 @@ func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplaySta
 					p.Sleep(wait)
 				}
 				for i < len(arrivals) && arrivals[i] < win {
-					a.start(a.Batch, nil)
+					a.startQoS(a.Batch, nil, qosOf(i))
 					i++
 				}
 			}

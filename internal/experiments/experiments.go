@@ -92,6 +92,7 @@ func All() []Experiment {
 		{"ext-spatial", "Extension: spatial GPU sharing contention", ExtSpatialSharing},
 		{"ext-faults", "Extension: self-healing transfers under link faults", ExtFaults},
 		{"ext-fanout", "Extension: fan-out transfer coalescing", ExtFanout},
+		{"ext-router", "Extension: gateway-grade routed admission vs placement-only", ExtRouter},
 		{"ext-scale", "Extension: trace replay at scale with batched admission", ExtScale},
 		{"ext-scale-shard", "Extension: scale-out fleet replay on the sharded engine", ExtScaleShard},
 	}

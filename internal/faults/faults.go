@@ -31,6 +31,9 @@ type Crasher interface {
 type Injector struct {
 	eng *sim.Engine
 	net *netsim.Network
+	// onCrash subscribers observe every injected GPU crash at fire time
+	// (the request router marks the worker unhealthy from here).
+	onCrash []func(node, gpu int)
 }
 
 // NewInjector returns an injector over the engine and network.
@@ -125,12 +128,22 @@ func (in *Injector) MemPressureFor(at, dur time.Duration, dev *memsim.Device, by
 	})
 }
 
+// OnGPUCrash registers a subscriber notified (in event context, at fire
+// time) of every GPU crash this injector schedules. Health-aware layers —
+// the request router's failover — use it as their crash signal.
+func (in *Injector) OnGPUCrash(fn func(node, gpu int)) {
+	in.onCrash = append(in.onCrash, fn)
+}
+
 // CrashGPUAt invalidates every object stored on the GPU at the given virtual
 // time, via the data plane's Crasher hook.
 func (in *Injector) CrashGPUAt(at time.Duration, c Crasher, node, gpu int) {
 	in.At(at, func() {
 		metrics.Faults().Crashes.Add(1)
 		metrics.Faults().ObjectsLost.Add(int64(c.CrashGPU(node, gpu)))
+		for _, fn := range in.onCrash {
+			fn(node, gpu)
+		}
 	})
 }
 

@@ -1,0 +1,87 @@
+package router_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"grouter/internal/cluster"
+	"grouter/internal/faults"
+	"grouter/internal/metrics"
+	"grouter/internal/router"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+// chaosReplay replays a bursty QoS-mixed trace while a seeded fault schedule
+// crashes GPUs and flaps links, with the router failing over on the
+// injector's crash signals. Everything — the schedule, the crashes, the
+// weighted-random picks — is derived from fixed seeds in virtual time.
+func chaosReplay(t *testing.T) replayResult {
+	t.Helper()
+	metrics.Faults().Reset()
+	arrivals := trace.Generate(trace.Spec{
+		Pattern: trace.Bursty, Duration: 2 * time.Second, MeanRPS: 500, Seed: 42,
+	})
+	e := sim.NewEngine()
+	defer e.Close()
+	c := cluster.New(e, topology.DGXV100(), 2, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0, SplitAcrossNodes: true})
+	app.EnableAutoscale(cluster.DefaultAutoscale())
+	cfg := router.DefaultConfig()
+	cfg.RecoverAfter = 200 * time.Millisecond
+	rt := router.New(app, cfg)
+
+	in := faults.NewInjector(e, c.Fabric.Net)
+	rt.WatchFaults(in)
+	crasher, ok := c.Plane.(faults.Crasher)
+	if !ok {
+		t.Fatal("core plane does not implement faults.Crasher")
+	}
+	// Seeded schedule: two GPU crashes plus random NVLink outages.
+	in.CrashGPUAt(300*time.Millisecond, crasher, 0, 0)
+	in.CrashGPUAt(900*time.Millisecond, crasher, 1, 1)
+	topo := c.Fabric.Topo(0)
+	var links []topology.LinkID
+	for i := 0; i < topo.Spec.NumGPUs; i++ {
+		for j := 0; j < topo.Spec.NumGPUs; j++ {
+			if topo.Spec.NVLinkBps(i, j) > 0 {
+				links = append(links, topo.NVLinkTo(i, j))
+			}
+		}
+	}
+	in.RandomLinkFaults(42, links, 2*time.Second, 400*time.Millisecond, 20*time.Millisecond)
+
+	st := app.ReplayTrace(arrivals, cluster.ReplayOptions{Quantum: 10 * time.Millisecond, HighEvery: 5})
+	return replayResult{st: st, samples: app.E2E.Samples(), rs: rt.Stats}
+}
+
+// TestChaosRoutingDeterministic: the full chaos stack — seeded fault
+// schedule, crash-driven failover, QoS priorities, scored weighted-random
+// routing — must replay byte-identically across two independent runs, and
+// the faults must actually have fired.
+func TestChaosRoutingDeterministic(t *testing.T) {
+	a := chaosReplay(t)
+	b := chaosReplay(t)
+	if !reflect.DeepEqual(a.st, b.st) {
+		t.Errorf("chaos replay stats diverged:\n%+v\n%+v", a.st, b.st)
+	}
+	if !reflect.DeepEqual(a.samples, b.samples) {
+		t.Error("chaos latency samples diverged across identical runs")
+	}
+	if !reflect.DeepEqual(a.rs, b.rs) {
+		t.Errorf("chaos router stats diverged:\n%+v\n%+v", a.rs, b.rs)
+	}
+	if a.rs.Crashes != 2 {
+		t.Errorf("router saw %d crash signals, want 2", a.rs.Crashes)
+	}
+	if a.rs.Failovers == 0 {
+		t.Error("no failovers despite crashed workers")
+	}
+	if a.st.Completed != a.st.Requests {
+		t.Errorf("chaos run completed %d of %d requests", a.st.Completed, a.st.Requests)
+	}
+}

@@ -1,0 +1,112 @@
+package router_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"grouter/internal/router"
+)
+
+// decodeWorkers turns fuzz bytes into a worker snapshot plus routing config:
+// a 17-byte header (weights, top-k, seq) followed by 26-byte worker records.
+// The decoder is intentionally permissive — truncated records, NaN bit
+// patterns, and negative values all pass straight through to RouteRequest,
+// which must tolerate them.
+func decodeWorkers(data []byte) ([]router.WorkerState, router.Config, int64) {
+	f64 := func(off int) float64 {
+		if off+8 > len(data) {
+			return 0
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+	}
+	i64 := func(off int) int64 {
+		if off+8 > len(data) {
+			return 0
+		}
+		return int64(binary.LittleEndian.Uint64(data[off : off+8]))
+	}
+	cfg := router.Config{
+		Weights: router.Weights{FreeMem: f64(0), Queue: f64(8) / 4, Latency: f64(8) / 2, Util: f64(8)},
+		TopK:    int(int8(byteAt(data, 16))),
+	}
+	seq := i64(8)
+	const hdr, rec = 17, 26
+	var states []router.WorkerState
+	for off := hdr; off+rec <= len(data) && len(states) < 64; off += rec {
+		states = append(states, router.WorkerState{
+			Node:        int(byteAt(data, off)) % 8,
+			GPU:         int(byteAt(data, off+1)) % 8,
+			Healthy:     byteAt(data, off+1)&1 == 1,
+			FreeMem:     i64(off + 2),
+			QueueDepth:  int(int32(binary.LittleEndian.Uint32(data[off+10 : off+14]))),
+			EWMALatency: time.Duration(i64(off + 14)),
+			Utilization: f64(off + 18),
+		})
+	}
+	return states, cfg, seq
+}
+
+func byteAt(data []byte, i int) byte {
+	if i >= len(data) {
+		return 0
+	}
+	return data[i]
+}
+
+// FuzzRouteRequest pins the routing core's safety contract on adversarial
+// snapshots: it never panics, a nil error always comes with a valid healthy
+// index, and every failure is the typed ErrNoWorker.
+func FuzzRouteRequest(f *testing.F) {
+	// Zero workers (header only).
+	zero := make([]byte, 17)
+	f.Add(zero)
+	// Two workers, both unhealthy (second byte even ⇒ Healthy false).
+	allDown := make([]byte, 17+2*26)
+	f.Add(allDown)
+	// One healthy worker with NaN utilization and negative queue depth.
+	nan := make([]byte, 17+26)
+	nan[17+1] = 1 // healthy
+	binary.LittleEndian.PutUint64(nan[17+18:], math.Float64bits(math.NaN()))
+	binary.LittleEndian.PutUint32(nan[17+10:], 0xFFFFFFFF) // QueueDepth -1
+	f.Add(nan)
+	// Infinite weights, huge seq, negative top-k.
+	hostile := make([]byte, 17+3*26)
+	binary.LittleEndian.PutUint64(hostile[0:], math.Float64bits(math.Inf(1)))
+	binary.LittleEndian.PutUint64(hostile[8:], 0xFFFFFFFFFFFFFFFF)
+	hostile[16] = 0x80 // TopK = -128
+	hostile[17+1] = 1
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		states, cfg, seq := decodeWorkers(data)
+		rng := rand.New(rand.NewSource(1))
+		idx, err := router.RouteRequest(states, cfg, seq, rng)
+		if err != nil {
+			if !errors.Is(err, router.ErrNoWorker) {
+				t.Fatalf("error is not ErrNoWorker: %v", err)
+			}
+			for i := range states {
+				if states[i].Healthy {
+					t.Fatalf("ErrNoWorker with healthy worker %d present", i)
+				}
+			}
+			return
+		}
+		if idx < 0 || idx >= len(states) {
+			t.Fatalf("index %d out of range [0,%d)", idx, len(states))
+		}
+		if !states[idx].Healthy {
+			t.Fatalf("picked unhealthy worker %d", idx)
+		}
+		// Scores backing the pick must be finite and bounded.
+		for i, s := range router.Score(states, cfg.Weights) {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("score[%d] = %v out of [0,1]", i, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package router_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"grouter/internal/router"
+)
+
+// randomStates generates n workers with metrics drawn from rng, all healthy.
+func randomStates(rng *rand.Rand, n int) []router.WorkerState {
+	out := make([]router.WorkerState, n)
+	for i := range out {
+		out[i] = router.WorkerState{
+			Node:        i / 8,
+			GPU:         i % 8,
+			Healthy:     true,
+			FreeMem:     rng.Int63n(32 << 30),
+			QueueDepth:  rng.Intn(64),
+			EWMALatency: time.Duration(rng.Int63n(int64(time.Second))),
+			Utilization: rng.Float64(),
+		}
+	}
+	return out
+}
+
+// TestScoreBoundsProperty: every score is a weighted mean of normalized
+// terms, so it must land in [0,1] for any candidate set and any weights —
+// including hostile ones (negative, NaN, infinite).
+func TestScoreBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := []router.Weights{
+		{},
+		{FreeMem: 1, Queue: 4, Latency: 2, Util: 1},
+		{FreeMem: 100},
+		{Queue: 0.001},
+		{FreeMem: math.NaN(), Queue: 1},
+		{Latency: math.Inf(1), Util: 2},
+		{FreeMem: -5, Queue: -1, Latency: 3},
+	}
+	for trial := 0; trial < 200; trial++ {
+		states := randomStates(rng, 1+rng.Intn(32))
+		w := weights[trial%len(weights)]
+		for i, s := range router.Score(states, w) {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("trial %d: score[%d] = %v out of [0,1] (weights %+v)", trial, i, s, w)
+			}
+		}
+	}
+}
+
+// TestScoreMonotonicityProperty: a worker strictly better on every metric
+// (more free memory, shorter queue, lower latency, lower utilization) must
+// score strictly higher than a strictly worse one, for any all-positive
+// weights.
+func TestScoreMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		states := randomStates(rng, 2+rng.Intn(16))
+		// Make worker 0 strictly dominate worker 1 on every metric.
+		states[0].FreeMem = states[1].FreeMem + 1 + rng.Int63n(1<<30)
+		states[1].QueueDepth = states[0].QueueDepth + 1 + rng.Intn(16)
+		states[1].EWMALatency = states[0].EWMALatency + time.Duration(1+rng.Int63n(int64(time.Second)))
+		states[0].Utilization = states[1].Utilization * rng.Float64() * 0.99
+		w := router.Weights{
+			FreeMem: 0.1 + rng.Float64(),
+			Queue:   0.1 + rng.Float64(),
+			Latency: 0.1 + rng.Float64(),
+			Util:    0.1 + rng.Float64(),
+		}
+		scores := router.Score(states, w)
+		if !(scores[0] > scores[1]) {
+			t.Fatalf("trial %d: dominating worker scored %v, dominated %v (weights %+v)",
+				trial, scores[0], scores[1], w)
+		}
+	}
+}
+
+// TestScoreUniformWhenWeightless: all-zero (or all-invalid) weights must
+// score every worker exactly 0.5 — the uniform configuration the
+// differential oracle depends on.
+func TestScoreUniformWhenWeightless(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, w := range []router.Weights{{}, {FreeMem: math.NaN(), Queue: -1, Latency: math.Inf(-1)}} {
+		for _, s := range router.Score(randomStates(rng, 12), w) {
+			if s != 0.5 {
+				t.Fatalf("weightless score = %v, want 0.5 (weights %+v)", s, w)
+			}
+		}
+	}
+}
+
+// TestRouteRequestUniformIsRoundRobin: with k=1 and zero weights the pick is
+// exactly seq mod workers — the closed-form half of the differential oracle.
+func TestRouteRequestUniformIsRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	states := randomStates(rng, 6)
+	cfg := router.Uniform()
+	for seq := int64(0); seq < 50; seq++ {
+		idx, err := router.RouteRequest(states, cfg, seq, rng)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if want := int(seq % 6); idx != want {
+			t.Fatalf("seq %d: picked %d, want round-robin %d", seq, idx, want)
+		}
+	}
+}
+
+// TestRouteRequestSkipsUnhealthy: unhealthy workers must never be picked,
+// and the round-robin tie-break runs over the healthy survivors.
+func TestRouteRequestSkipsUnhealthy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	states := randomStates(rng, 8)
+	down := map[int]bool{1: true, 4: true, 5: true}
+	for i := range states {
+		states[i].Healthy = !down[i]
+	}
+	cfg := router.DefaultConfig()
+	for seq := int64(0); seq < 100; seq++ {
+		idx, err := router.RouteRequest(states, cfg, seq, rng)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if down[idx] {
+			t.Fatalf("seq %d: picked blacklisted worker %d", seq, idx)
+		}
+	}
+}
+
+// TestTopKPickDeterminism: with a fixed seed, the full scored pick sequence
+// (weighted-random among top-k over evolving snapshots) must be identical
+// across 10 independent runs.
+func TestTopKPickDeterminism(t *testing.T) {
+	cfg := router.DefaultConfig()
+	run := func() []int {
+		rng := rand.New(rand.NewSource(23))
+		gen := rand.New(rand.NewSource(29))
+		states := randomStates(gen, 10)
+		picks := make([]int, 0, 300)
+		for seq := int64(0); seq < 300; seq++ {
+			// Evolve the snapshot deterministically so picks exercise
+			// changing scores, not one frozen ranking.
+			j := int(seq) % len(states)
+			states[j].QueueDepth = gen.Intn(64)
+			states[j].EWMALatency = time.Duration(gen.Int63n(int64(time.Second)))
+			idx, err := router.RouteRequest(states, cfg, seq, rng)
+			if err != nil {
+				t.Fatalf("seq %d: %v", seq, err)
+			}
+			picks = append(picks, idx)
+		}
+		return picks
+	}
+	first := run()
+	for i := 0; i < 9; i++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d diverged from the first pick sequence", i+2)
+		}
+	}
+	// The weighted-random stage must actually spread: more than one worker
+	// picked across the sequence.
+	seen := map[int]bool{}
+	for _, p := range first {
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("top-%d weighted-random picked only %d distinct workers", cfg.TopK, len(seen))
+	}
+}
+
+// TestRouteRequestNilRngTakesTop: a nil rng must degrade to the top-scored
+// candidate instead of panicking.
+func TestRouteRequestNilRngTakesTop(t *testing.T) {
+	states := []router.WorkerState{
+		{Healthy: true, QueueDepth: 50},
+		{Healthy: true, QueueDepth: 1},
+	}
+	cfg := router.DefaultConfig()
+	idx, err := router.RouteRequest(states, cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("picked %d, want the short-queue worker 1", idx)
+	}
+}

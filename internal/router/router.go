@@ -1,0 +1,252 @@
+package router
+
+import (
+	"math/rand"
+	"time"
+
+	"grouter/internal/cluster"
+	"grouter/internal/fabric"
+	"grouter/internal/faults"
+	"grouter/internal/obs"
+	"grouter/internal/scheduler"
+)
+
+// Config tunes one Router.
+type Config struct {
+	// Weights are the worker-scoring coefficients.
+	Weights Weights
+	// TopK is the weighted-random candidate pool size (default 1; the
+	// scored DefaultConfig uses 3 to spread near-ties).
+	TopK int
+	// Refresh is the snapshot cache period in virtual time: picks between
+	// refreshes reuse the cached worker metrics (cached-metrics admission,
+	// so a burst of picks costs one metrics sweep). Zero refreshes every
+	// pick.
+	Refresh time.Duration
+	// Seed drives the weighted-random pick stream.
+	Seed int64
+	// AgingAfter, when positive, enables priority aging on the cluster's
+	// GPU queues: a waiting request's effective QoS class rises one level
+	// per period, so QoSHigh load cannot starve QoSLow requests.
+	AgingAfter time.Duration
+	// RecoverAfter is how long a crashed worker stays blacklisted.
+	RecoverAfter time.Duration
+	// EWMAAlpha smooths the per-worker service-latency EWMA (default 0.2).
+	EWMAAlpha float64
+}
+
+// DefaultConfig returns the scored production configuration: queue depth
+// dominates (it is the freshest congestion signal), latency EWMA second,
+// free memory and utilization as slow-moving tie-breakers.
+func DefaultConfig() Config {
+	return Config{
+		Weights:      Weights{FreeMem: 1, Queue: 4, Latency: 2, Util: 1},
+		TopK:         3,
+		Refresh:      2 * time.Millisecond,
+		AgingAfter:   20 * time.Millisecond,
+		RecoverAfter: 500 * time.Millisecond,
+		EWMAAlpha:    0.2,
+	}
+}
+
+// Uniform returns the degenerate configuration whose routing is provably
+// identical to placement-only admission: zero weights score every worker
+// equally and k=1 resolves the tie round-robin, reproducing the cluster's
+// seq-mod-pool instance selection byte for byte (the differential oracle).
+func Uniform() Config { return Config{TopK: 1} }
+
+// Stats counts routing activity. All counters are deterministic in virtual
+// time.
+type Stats struct {
+	// Decisions counts routed stage activations (scored picks served).
+	Decisions int64
+	// Refreshes counts metrics-snapshot rebuilds.
+	Refreshes int64
+	// Failovers counts decisions where at least one unhealthy candidate
+	// was skipped; Retries counts the skipped candidates.
+	Failovers int64
+	Retries   int64
+	// Fallbacks counts decisions with no healthy candidate (ErrNoWorker),
+	// where admission fell back to the cluster's round-robin.
+	Fallbacks int64
+	// Crashes counts worker-down signals received from the fault injector.
+	Crashes int64
+}
+
+// Router scores a cluster's GPUs and routes one app's stage activations.
+type Router struct {
+	app *cluster.App
+	c   *cluster.Cluster
+	cfg Config
+	rng *rand.Rand
+	tr  *obs.Tracer
+
+	numGPUs int
+	// Per-worker accounting, indexed node*numGPUs+gpu.
+	ewma      []time.Duration
+	busy      []time.Duration
+	lastBusy  []time.Duration
+	downUntil []time.Duration
+	// pending counts picks routed to a worker since the last snapshot
+	// refresh. Added to the cached queue depth, it keeps a burst of picks
+	// inside one refresh window from herding onto the same stale-best
+	// worker — the pending discount of cached-metrics routing.
+	pending []int
+
+	snap   []WorkerState
+	snapAt time.Duration
+	fresh  bool
+	// cstates is the per-pick candidate scratch buffer.
+	cstates []WorkerState
+
+	Stats Stats
+}
+
+// New builds a router over the app's cluster and installs it as the app's
+// Route hook, taking over the cluster's OnGPUService accounting hook. With a
+// positive AgingAfter it also enables priority aging on the cluster's GPU
+// queues. One router per cluster.
+func New(app *cluster.App, cfg Config) *Router {
+	if cfg.EWMAAlpha <= 0 || cfg.EWMAAlpha > 1 {
+		cfg.EWMAAlpha = 0.2
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = 500 * time.Millisecond
+	}
+	c := app.C
+	n := c.Fabric.NumNodes() * c.Spec().NumGPUs
+	r := &Router{
+		app:       app,
+		c:         c,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed + 101)),
+		tr:        obs.TracerOf(c.Engine),
+		numGPUs:   c.Spec().NumGPUs,
+		ewma:      make([]time.Duration, n),
+		busy:      make([]time.Duration, n),
+		lastBusy:  make([]time.Duration, n),
+		downUntil: make([]time.Duration, n),
+		pending:   make([]int, n),
+		snap:      make([]WorkerState, n),
+	}
+	c.OnGPUService = r.onService
+	if cfg.AgingAfter > 0 {
+		c.SetQueueAging(cfg.AgingAfter)
+	}
+	app.Route = r.route
+	return r
+}
+
+// Config returns the router's (defaulted) configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// widx flattens a worker location.
+func (r *Router) widx(node, gpu int) int { return node*r.numGPUs + gpu }
+
+// onService folds one compute-slot hold into the worker's EWMA service
+// latency and cumulative busy time.
+func (r *Router) onService(node, gpu int, held time.Duration) {
+	i := r.widx(node, gpu)
+	if r.ewma[i] == 0 {
+		r.ewma[i] = held
+	} else {
+		a := r.cfg.EWMAAlpha
+		r.ewma[i] = time.Duration(a*float64(held) + (1-a)*float64(r.ewma[i]))
+	}
+	r.busy[i] += held
+}
+
+// MarkDown blacklists a worker until RecoverAfter elapses (the fault
+// injector's crash signal lands here via WatchFaults).
+func (r *Router) MarkDown(node, gpu int) {
+	r.downUntil[r.widx(node, gpu)] = r.c.Engine.Now() + r.cfg.RecoverAfter
+	// Health must be visible to the next pick even inside a refresh window.
+	r.fresh = false
+}
+
+// WatchFaults subscribes the router to the injector's GPU crash signals, so
+// picks fail over away from crashed workers while they re-materialize.
+func (r *Router) WatchFaults(in *faults.Injector) {
+	in.OnGPUCrash(func(node, gpu int) {
+		r.Stats.Crashes++
+		r.MarkDown(node, gpu)
+	})
+}
+
+// Snapshot returns the current cached worker states, refreshing if stale
+// (exported for tests and the -router-stats diagnostics).
+func (r *Router) Snapshot() []WorkerState {
+	now := r.c.Engine.Now()
+	if r.fresh && now-r.snapAt < r.cfg.Refresh {
+		return r.snap
+	}
+	elapsed := now - r.snapAt
+	for node := 0; node < r.c.Fabric.NumNodes(); node++ {
+		for gpu := 0; gpu < r.numGPUs; gpu++ {
+			i := r.widx(node, gpu)
+			waiting, held := r.c.GPULoad(node, gpu)
+			util := 0.0
+			if elapsed > 0 {
+				util = float64(r.busy[i]-r.lastBusy[i]) / float64(elapsed)
+				if util > 1 {
+					util = 1
+				}
+			}
+			r.lastBusy[i] = r.busy[i]
+			r.pending[i] = 0
+			r.snap[i] = WorkerState{
+				Node:        node,
+				GPU:         gpu,
+				Healthy:     r.downUntil[i] <= now,
+				FreeMem:     r.c.Fabric.Mem(fabric.Location{Node: node, GPU: gpu}).Free(),
+				QueueDepth:  waiting + held,
+				EWMALatency: r.ewma[i],
+				Utilization: util,
+			}
+		}
+	}
+	r.snapAt = now
+	r.fresh = true
+	r.Stats.Refreshes++
+	return r.snap
+}
+
+// route is the App.Route hook: it maps the stage's instance pool onto worker
+// states and delegates the pick to RouteRequest. Host pools (cFns) and
+// no-healthy-worker picks decline, falling back to round-robin — a
+// simulation must still run every request, so total failure degrades to the
+// placement-only path and is counted in Stats.Fallbacks.
+func (r *Router) route(si scheduler.StageInst, seq int64, pool []fabric.Location) (int, bool) {
+	snap := r.Snapshot()
+	r.cstates = r.cstates[:0]
+	unhealthy := 0
+	for _, loc := range pool {
+		if loc.IsHost() {
+			return 0, false
+		}
+		ws := snap[r.widx(loc.Node, loc.GPU)]
+		ws.QueueDepth += r.pending[r.widx(loc.Node, loc.GPU)]
+		if !ws.Healthy {
+			unhealthy++
+		}
+		r.cstates = append(r.cstates, ws)
+	}
+	r.Stats.Decisions++
+	if unhealthy > 0 {
+		r.Stats.Failovers++
+		r.Stats.Retries += int64(unhealthy)
+	}
+	idx, err := RouteRequest(r.cstates, r.cfg, seq, r.rng)
+	if err != nil {
+		r.Stats.Fallbacks++
+		return 0, false
+	}
+	r.pending[r.widx(pool[idx].Node, pool[idx].GPU)]++
+	if ev := r.tr.InstantOn(obs.TrackSched, obs.CatPlace, "route:"+si.Stage); ev != 0 {
+		r.tr.SetAttrInt(ev, "seq", seq)
+		r.tr.SetAttrInt(ev, "node", int64(pool[idx].Node))
+		r.tr.SetAttrInt(ev, "gpu", int64(pool[idx].GPU))
+		r.tr.SetAttrInt(ev, "queue", int64(r.cstates[idx].QueueDepth))
+	}
+	return idx, true
+}

@@ -1,0 +1,171 @@
+package router_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"grouter/internal/cluster"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/router"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+func grouterPlane(f *fabric.Fabric) dataplane.Plane { return core.New(f, core.FullConfig()) }
+
+// replayResult captures everything observable about one replayed trace: the
+// summary stats, every per-request latency sample, and the router counters.
+type replayResult struct {
+	st      cluster.ReplayStats
+	samples []time.Duration
+	rs      router.Stats
+}
+
+// replayOnce replays a generated trace through the driving workflow on a
+// 2-node cluster (autoscaler on, batched admission — the ext-router setup at
+// test scale). cfg nil means placement-only; otherwise the router is
+// installed with that config. mutate, when non-nil, runs against the router
+// before the replay starts.
+func replayOnce(t *testing.T, pattern trace.Pattern, requests int, cfg *router.Config,
+	highEvery int, mutate func(*router.Router)) replayResult {
+	t.Helper()
+	arrivals := trace.Generate(trace.Spec{
+		Pattern:  pattern,
+		Duration: time.Duration(float64(requests) / 500 * float64(time.Second)),
+		MeanRPS:  500,
+		Seed:     42,
+	})
+	e := sim.NewEngine()
+	defer e.Close()
+	c := cluster.New(e, topology.DGXV100(), 2, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0, SplitAcrossNodes: true})
+	app.EnableAutoscale(cluster.DefaultAutoscale())
+	var rt *router.Router
+	if cfg != nil {
+		rt = router.New(app, *cfg)
+		if mutate != nil {
+			mutate(rt)
+		}
+	}
+	st := app.ReplayTrace(arrivals, cluster.ReplayOptions{Quantum: 10 * time.Millisecond, HighEvery: highEvery})
+	res := replayResult{st: st, samples: app.E2E.Samples()}
+	if rt != nil {
+		res.rs = rt.Stats
+	}
+	return res
+}
+
+// TestUniformRoutingMatchesPlacementOnly is the differential oracle: the
+// degenerate router configuration (all-zero weights, k=1) must reproduce the
+// cluster's placement-only round-robin admission byte for byte — same
+// summary stats and the same per-request latency samples — on every trace
+// pattern. Uniform weights score all workers equally and the seq-rotation
+// tie-break resolves equal scores to seq mod pool, which IS round-robin, so
+// any divergence here means the router changed simulation behavior beyond
+// pick selection.
+func TestUniformRoutingMatchesPlacementOnly(t *testing.T) {
+	for _, p := range []trace.Pattern{trace.Sporadic, trace.Periodic, trace.Bursty} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			base := replayOnce(t, p, 1200, nil, 0, nil)
+			uni := router.Uniform()
+			routed := replayOnce(t, p, 1200, &uni, 0, nil)
+			if !reflect.DeepEqual(base.st, routed.st) {
+				t.Errorf("replay stats diverged:\nplacement-only: %+v\nuniform-routed: %+v", base.st, routed.st)
+			}
+			if !reflect.DeepEqual(base.samples, routed.samples) {
+				t.Errorf("latency samples diverged: %d vs %d samples", len(base.samples), len(routed.samples))
+				for i := range base.samples {
+					if i < len(routed.samples) && base.samples[i] != routed.samples[i] {
+						t.Errorf("first divergence at sample %d: %v vs %v", i, base.samples[i], routed.samples[i])
+						break
+					}
+				}
+			}
+			if routed.rs.Decisions == 0 {
+				t.Error("uniform router made no decisions — the hook was not exercised")
+			}
+			if routed.rs.Fallbacks != 0 || routed.rs.Failovers != 0 {
+				t.Errorf("uniform run saw fallbacks=%d failovers=%d, want 0/0 on a healthy cluster",
+					routed.rs.Fallbacks, routed.rs.Failovers)
+			}
+		})
+	}
+}
+
+// TestScoredRoutingDeterministic pins the double-run invariant for the full
+// scored configuration (weighted-random among top-3, QoS mix, adaptive
+// refresh): two replays of the same trace must agree on every stat, every
+// latency sample, and every router counter.
+func TestScoredRoutingDeterministic(t *testing.T) {
+	cfg := router.DefaultConfig()
+	a := replayOnce(t, trace.Bursty, 1500, &cfg, 7, nil)
+	b := replayOnce(t, trace.Bursty, 1500, &cfg, 7, nil)
+	if !reflect.DeepEqual(a.st, b.st) {
+		t.Errorf("replay stats diverged across identical runs:\n%+v\n%+v", a.st, b.st)
+	}
+	if !reflect.DeepEqual(a.samples, b.samples) {
+		t.Error("latency samples diverged across identical runs")
+	}
+	if !reflect.DeepEqual(a.rs, b.rs) {
+		t.Errorf("router stats diverged across identical runs:\n%+v\n%+v", a.rs, b.rs)
+	}
+	if a.rs.Decisions == 0 || a.rs.Refreshes == 0 {
+		t.Errorf("scored run did not route (decisions=%d refreshes=%d)", a.rs.Decisions, a.rs.Refreshes)
+	}
+}
+
+// TestFailoverSkipsDownWorker: a blacklisted worker is reported unhealthy in
+// the snapshot, routed around (failovers counted), and the replay still
+// completes every request.
+func TestFailoverSkipsDownWorker(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.RecoverAfter = time.Hour // stays down for the whole replay
+	res := replayOnce(t, trace.Sporadic, 800, &cfg, 0, func(rt *router.Router) {
+		rt.MarkDown(0, 0)
+		for _, ws := range rt.Snapshot() {
+			if ws.Node == 0 && ws.GPU == 0 {
+				if ws.Healthy {
+					t.Fatal("marked-down worker still reported healthy")
+				}
+			} else if !ws.Healthy {
+				t.Fatalf("worker %d/%d unexpectedly unhealthy", ws.Node, ws.GPU)
+			}
+		}
+	})
+	if res.st.Completed != res.st.Requests {
+		t.Errorf("completed %d of %d requests with one worker down", res.st.Completed, res.st.Requests)
+	}
+	if res.rs.Failovers == 0 || res.rs.Retries == 0 {
+		t.Errorf("no failovers recorded (failovers=%d retries=%d) — down worker never appeared in a pool",
+			res.rs.Failovers, res.rs.Retries)
+	}
+}
+
+// TestAllWorkersDownFallsBack: with every worker blacklisted routing returns
+// ErrNoWorker internally and admission falls back to the cluster's
+// round-robin — requests must still complete, counted as fallbacks.
+func TestAllWorkersDownFallsBack(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.RecoverAfter = time.Hour
+	res := replayOnce(t, trace.Sporadic, 300, &cfg, 0, func(rt *router.Router) {
+		spec := topology.DGXV100()
+		for node := 0; node < 2; node++ {
+			for gpu := 0; gpu < spec.NumGPUs; gpu++ {
+				rt.MarkDown(node, gpu)
+			}
+		}
+	})
+	if res.st.Completed != res.st.Requests {
+		t.Errorf("completed %d of %d requests with all workers down", res.st.Completed, res.st.Requests)
+	}
+	if res.rs.Fallbacks == 0 {
+		t.Errorf("no fallbacks recorded (%+v) — ErrNoWorker path never taken", res.rs)
+	}
+}

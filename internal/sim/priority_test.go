@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// grabAndHold occupies the resource's only slot for dur.
+func grabAndHold(e *Engine, r *Resource, dur time.Duration) {
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(dur)
+		r.Release()
+	})
+}
+
+// acquireOrder runs the given (name, pri, enqueueAt) acquirers against a
+// busy single-slot resource and returns the order they obtained the slot.
+func acquireOrder(t *testing.T, aging time.Duration, holdFor time.Duration, reqs []struct {
+	name string
+	pri  int32
+	at   time.Duration
+}) []string {
+	t.Helper()
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, 1)
+	r.SetAging(aging)
+	grabAndHold(e, r, holdFor)
+	var order []string
+	for _, q := range reqs {
+		q := q
+		e.Schedule(q.at, func() {
+			e.Go(q.name, func(p *Proc) {
+				r.AcquirePri(p, q.pri)
+				order = append(order, q.name)
+				p.Sleep(time.Millisecond)
+				r.Release()
+			})
+		})
+	}
+	e.Run(0)
+	return order
+}
+
+func TestAcquirePriEqualPrioritiesKeepFIFO(t *testing.T) {
+	order := acquireOrder(t, 0, 10*time.Millisecond, []struct {
+		name string
+		pri  int32
+		at   time.Duration
+	}{
+		{"a", 0, 1 * time.Millisecond},
+		{"b", 0, 2 * time.Millisecond},
+		{"c", 0, 3 * time.Millisecond},
+	})
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (FIFO must hold for equal priorities)", order, want)
+		}
+	}
+}
+
+func TestAcquirePriHighSkipsLow(t *testing.T) {
+	order := acquireOrder(t, 0, 10*time.Millisecond, []struct {
+		name string
+		pri  int32
+		at   time.Duration
+	}{
+		{"low1", 0, 1 * time.Millisecond},
+		{"low2", 0, 2 * time.Millisecond},
+		{"high", 1, 3 * time.Millisecond},
+	})
+	want := []string{"high", "low1", "low2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (high skips queued lows)", order, want)
+		}
+	}
+}
+
+func TestAcquirePriHighsKeepFIFOAmongThemselves(t *testing.T) {
+	order := acquireOrder(t, 0, 10*time.Millisecond, []struct {
+		name string
+		pri  int32
+		at   time.Duration
+	}{
+		{"low", 0, 1 * time.Millisecond},
+		{"high1", 1, 2 * time.Millisecond},
+		{"high2", 1, 3 * time.Millisecond},
+	})
+	want := []string{"high1", "high2", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAcquirePriAgedLowIsNotSkipped(t *testing.T) {
+	// With a 5ms aging period, a low waiter queued at 1ms has effective
+	// priority 1 by the time the high arrives at 7ms — the high must queue
+	// behind it, not skip it.
+	order := acquireOrder(t, 5*time.Millisecond, 10*time.Millisecond, []struct {
+		name string
+		pri  int32
+		at   time.Duration
+	}{
+		{"low-old", 0, 1 * time.Millisecond},
+		{"low-new", 0, 6 * time.Millisecond},
+		{"high", 1, 7 * time.Millisecond},
+	})
+	want := []string{"low-old", "high", "low-new"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (aged low outranks fresh high)", order, want)
+		}
+	}
+}
+
+func TestAcquirePriUncontendedIsImmediate(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, 2)
+	got := 0
+	e.Go("a", func(p *Proc) {
+		r.AcquirePri(p, 1)
+		got++
+		r.Release()
+	})
+	e.Run(0)
+	if got != 1 {
+		t.Fatal("uncontended AcquirePri did not run")
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatalf("resource not drained: inUse=%d queue=%d", r.InUse(), r.QueueLen())
+	}
+}

@@ -84,14 +84,25 @@ func (f *Future[T]) Wait(p *Proc) T {
 // Resolved reports whether the future has a value.
 func (f *Future[T]) Resolved() bool { return f.sig.fired }
 
+// resWaiter is one queued acquirer: the process plus its priority class and
+// enqueue instant (the instant feeds priority aging).
+type resWaiter struct {
+	p   *Proc
+	pri int32
+	at  time.Duration
+}
+
 // Resource is a FIFO counting resource (e.g. a GPU compute slot). Acquire
 // blocks when capacity is exhausted; Release hands the slot to the oldest
-// waiter.
+// waiter. AcquirePri adds QoS classes: higher-priority waiters are granted
+// slots before lower-priority ones, with optional aging (SetAging) so a
+// sustained high-priority stream cannot starve low-priority work.
 type Resource struct {
 	engine  *Engine
 	cap     int
 	inUse   int
-	waiters []*Proc
+	aging   time.Duration
+	waiters []resWaiter
 }
 
 // NewResource returns a resource with the given capacity (must be >= 1).
@@ -108,21 +119,53 @@ func (r *Resource) InUse() int { return r.inUse }
 // QueueLen returns the number of processes waiting to acquire.
 func (r *Resource) QueueLen() int { return len(r.waiters) }
 
-// Acquire obtains a slot, suspending p until one is available.
-func (r *Resource) Acquire(p *Proc) {
+// SetAging sets the priority-aging period: a queued waiter's effective
+// priority rises one level per d waited, so low-priority requests overtaken
+// by a high-priority stream eventually rank equal and drain in FIFO order.
+// Zero (the default) disables aging.
+func (r *Resource) SetAging(d time.Duration) { r.aging = d }
+
+// effectivePri is a waiter's priority after aging at the given instant.
+// Effective priorities of queued waiters all grow at the same rate, so their
+// relative order never inverts after insertion and the queue stays sorted.
+func (r *Resource) effectivePri(w *resWaiter, now time.Duration) int32 {
+	if r.aging <= 0 {
+		return w.pri
+	}
+	return w.pri + int32((now-w.at)/r.aging)
+}
+
+// Acquire obtains a slot at the default (lowest) priority, suspending p
+// until one is available.
+func (r *Resource) Acquire(p *Proc) { r.AcquirePri(p, 0) }
+
+// AcquirePri obtains a slot at the given priority. When capacity is
+// exhausted, the waiter is inserted behind every queued waiter whose
+// effective (aged) priority is at least its own and ahead of the rest —
+// equal priorities keep FIFO order, so a fleet of priority-0 acquirers
+// behaves exactly like Acquire.
+func (r *Resource) AcquirePri(p *Proc, pri int32) {
 	if r.inUse < r.cap {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	now := r.engine.Now()
+	idx := len(r.waiters)
+	for idx > 0 && r.effectivePri(&r.waiters[idx-1], now) < pri {
+		idx--
+	}
+	r.waiters = append(r.waiters, resWaiter{})
+	copy(r.waiters[idx+1:], r.waiters[idx:])
+	r.waiters[idx] = resWaiter{p: p, pri: pri, at: now}
 	p.suspend()
 }
 
 // Release returns a slot. If processes are waiting, the slot transfers to
-// the oldest waiter.
+// the frontmost waiter (oldest within the highest effective priority).
 func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
-		next := r.waiters[0]
+		next := r.waiters[0].p
+		r.waiters[0] = resWaiter{}
 		r.waiters = r.waiters[1:]
 		r.engine.ScheduleWake(next)
 		return

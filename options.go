@@ -1,13 +1,17 @@
 package grouter
 
+import "grouter/internal/router"
+
 // simOptions collects NewSim's functional-option state.
 type simOptions struct {
-	nodes    int
-	seed     int64
-	trace    bool
-	faults   bool
-	coalesce bool
-	shards   int
+	nodes     int
+	seed      int64
+	trace     bool
+	faults    bool
+	coalesce  bool
+	shards    int
+	router    bool
+	routerCfg router.Config
 }
 
 func defaultSimOptions() simOptions { return simOptions{nodes: 1} }
@@ -48,6 +52,20 @@ func WithScaleDefaults() Option {
 // pure execution knob: shard counts change wall-clock time only, never
 // results — ReplayScaleOut output is byte-identical for any value.
 func WithShards(n int) Option { return func(o *simOptions) { o.shards = n } }
+
+// WithRouter sets the default configuration Sim.NewRouter attaches to apps:
+// with no argument the scored production config (router.DefaultConfig), or
+// an explicit RouterConfig. The router itself attaches per deployed app —
+// call Sim.NewRouter(app) after Deploy.
+func WithRouter(cfg ...RouterConfig) Option {
+	return func(o *simOptions) {
+		o.router = true
+		o.routerCfg = router.DefaultConfig()
+		if len(cfg) > 0 {
+			o.routerCfg = cfg[0]
+		}
+	}
+}
 
 // WithCoalescing enables fan-out-aware transfer coalescing in planes built
 // by Sim.NewGRouter without an explicit Config: concurrent Gets of one
