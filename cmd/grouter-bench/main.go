@@ -33,6 +33,7 @@ func main() {
 	fanout := flag.Bool("fanout", false, "run the fan-out coalescing experiment (shorthand for -run ext-fanout)")
 	routerRun := flag.Bool("router", false, "run the full-size routed-admission comparison (ext-router at -scale-requests) and exit")
 	routerStats := flag.Bool("router-stats", false, "replay the bursty pattern routed at -scale-requests with a 10% QoSHigh mix and print the router's decision counters")
+	elastic := flag.Bool("elastic", false, "run the full-size elastic-pool strategy comparison (ext-elastic at -scale-requests) and exit")
 	scale := flag.Bool("scale", false, "run the full-size scale replay (ext-scale at -scale-requests) and exit")
 	scaleRequests := flag.Int("scale-requests", 100_000, "request count for the largest -scale replays")
 	scaleShards := flag.Int("scale-shards", 0, "with -scale: replay the 8-pod scale-out fleet on this many engine shards instead of the single-cluster replay")
@@ -113,6 +114,11 @@ func main() {
 	if *routerRun {
 		// Virtual-time table: byte-identical across runs of the same build.
 		fmt.Println(experiments.RouterTable(*scaleRequests).Format())
+		return
+	}
+	if *elastic {
+		// Virtual-time table: byte-identical across runs of the same build.
+		fmt.Println(experiments.ElasticTable(*scaleRequests).Format())
 		return
 	}
 	if *routerStats {

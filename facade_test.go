@@ -144,6 +144,48 @@ func TestFacadeCoalescedFanout(t *testing.T) {
 	}
 }
 
+// TestFacadeAutoscale drives a periodic trace through Sim.Autoscale twice and
+// checks the elastic pools scale, account GPU-seconds, and stay byte
+// identical across runs. It also pins the WithAutoscaler precedence: the
+// Sim-level config applies when Autoscale gets no explicit argument.
+func TestFacadeAutoscale(t *testing.T) {
+	run := func() (ReplayStats, ElasticStats, float64) {
+		s := MustNewSim("dgx-v100", WithNodes(2), WithSeed(42),
+			WithAutoscaler(ElasticConfig{
+				Scaler:          ReactiveScaler{ScaleOutDepth: 2, ScaleIn: true},
+				Min:             1,
+				Max:             3,
+				Interval:        100 * time.Millisecond,
+				ScaleInCooldown: 300 * time.Millisecond,
+				Prewarm:         true,
+			}))
+		defer s.Close()
+		c := s.NewCluster(func(s *Sim) Plane { return s.NewGRouter() })
+		app := c.Deploy(DrivingWorkflow(), 1, PlaceOptions{Node: 0, SplitAcrossNodes: true})
+		ep := s.Autoscale(app)
+		arrivals := GenerateTrace(TraceSpec{
+			Pattern: Periodic, Duration: 2 * time.Second, MeanRPS: 400, Seed: 7,
+		})
+		st := app.ReplayTrace(arrivals, ReplayOptions{Quantum: 10 * time.Millisecond})
+		return st, ep.Stats, ep.GPUSeconds()
+	}
+	st1, es1, gs1 := run()
+	st2, es2, gs2 := run()
+	if st1.Completed == 0 {
+		t.Fatal("no requests completed through the autoscaled façade")
+	}
+	if es1.ScaleOuts == 0 {
+		t.Error("periodic trace provoked no scale-out")
+	}
+	if gs1 <= 0 {
+		t.Errorf("GPU-seconds = %v, want positive", gs1)
+	}
+	if st1 != st2 || es1 != es2 || gs1 != gs2 {
+		t.Errorf("autoscaled replay diverged across runs:\n%+v %+v %v\n%+v %+v %v",
+			st1, es1, gs1, st2, es2, gs2)
+	}
+}
+
 // TestFacadeReplayScaleOut exercises the sharded fleet replay through the
 // façade: WithShards is a pure execution knob, so the deterministic results
 // must match across shard counts.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"grouter/internal/autoscale"
 	"grouter/internal/baselines"
 	"grouter/internal/cluster"
 	"grouter/internal/core"
@@ -109,6 +110,28 @@ type (
 	RouterStats = router.Stats
 	// WorkerState is one worker's entry in the router's metrics snapshot.
 	WorkerState = router.WorkerState
+	// Elastic manages per-stage elastic instance pools on a deployed app;
+	// attach one with Sim.Autoscale.
+	Elastic = cluster.ElasticPools
+	// ElasticConfig tunes elastic pools (strategy, replica bounds, controller
+	// interval, cooldowns, pre-warmed provisioning).
+	ElasticConfig = cluster.ElasticConfig
+	// ElasticStats counts an Elastic's scale-outs, scale-ins, drains,
+	// crashes, and recoveries.
+	ElasticStats = cluster.ElasticStats
+	// Autoscaler decides a pool's desired replica count from its metrics;
+	// implement it to plug a custom strategy into ElasticConfig.Scaler.
+	Autoscaler = autoscale.Autoscaler
+	// PoolMetrics is the per-pool observation an Autoscaler sizes against.
+	PoolMetrics = autoscale.PoolMetrics
+	// FixedScaler pins a pool at a constant replica count.
+	FixedScaler = autoscale.Fixed
+	// ReactiveScaler scales on queue depth per active replica.
+	ReactiveScaler = autoscale.Reactive
+	// TargetUtilScaler sizes pools to hold a per-instance load setpoint.
+	TargetUtilScaler = autoscale.TargetUtilization
+	// PredictiveScaler sizes pools against a least-squares load forecast.
+	PredictiveScaler = autoscale.Predictive
 	// QoS is a request priority class (QoSHigh skips QoSLow in worker
 	// queues); set a replay's mix with ReplayOptions.HighEvery or invoke
 	// one request with App.InvokeQoS.
@@ -307,6 +330,40 @@ func (s *Sim) NewRouter(app *App, cfg ...RouterConfig) *Router {
 		r.WatchFaults(s.injector)
 	}
 	return r
+}
+
+// DefaultElasticConfig returns the reactive production elastic-pool
+// configuration (queue-depth reactive scaler, pre-warmed provisioning).
+func DefaultElasticConfig() ElasticConfig { return cluster.DefaultElastic() }
+
+// Autoscale enables elastic per-stage instance pools on a deployed app:
+// a virtual-time controller grows and shrinks each GPU stage's pool between
+// the configured bounds, draining instances before teardown. The
+// configuration comes from, in precedence order, the explicit argument,
+// WithAutoscaler's value, or DefaultElasticConfig. When the Sim carries a
+// fault injector (WithFaults), the pools subscribe to its GPU crash signals
+// and route around crashed replicas until they recover:
+//
+//	app := c.Deploy(grouter.DrivingWorkflow(), 0, grouter.PlaceOptions{Node: 0})
+//	ep := s.Autoscale(app, grouter.ElasticConfig{
+//	    Scaler: grouter.ReactiveScaler{ScaleOutDepth: 2, ScaleIn: true},
+//	    Min:    1, Max: 4, Prewarm: true,
+//	})
+//	app.ReplayTrace(arrivals, grouter.ReplayOptions{})
+//	fmt.Println(ep.GPUSeconds(), ep.Stats)
+func (s *Sim) Autoscale(app *App, cfg ...ElasticConfig) *Elastic {
+	c := cluster.DefaultElastic()
+	if s.opts.elastic {
+		c = s.opts.elasticCfg
+	}
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	ep := app.EnableElastic(c)
+	if s.injector != nil {
+		ep.WatchFaults(s.injector)
+	}
+	return ep
 }
 
 // NewKVCluster builds an n-node LLM KV-cache benchmark cluster on this

@@ -1,0 +1,191 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedPins(t *testing.T) {
+	f := Fixed{Replicas: 3}
+	if f.Name() != "fixed" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	for _, m := range []PoolMetrics{
+		{Active: 1},
+		{Active: 5, Queue: 100, Busy: 5, Load: 105},
+		{Active: 3, Provisioning: 2},
+	} {
+		if got := f.Desired(m); got != 3 {
+			t.Fatalf("Fixed{3}.Desired(%+v) = %d, want 3", m, got)
+		}
+	}
+}
+
+func TestFixedZeroHoldsCurrent(t *testing.T) {
+	f := Fixed{}
+	if got := f.Desired(PoolMetrics{Active: 2, Provisioning: 1}); got != 3 {
+		t.Fatalf("Fixed{0} on 2 active + 1 provisioning = %d, want 3", got)
+	}
+}
+
+func TestReactiveScaleOutAtDepth(t *testing.T) {
+	r := Reactive{ScaleOutDepth: 2}
+	if r.Name() != "reactive" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	// Mean queue below depth: hold.
+	if got := r.Desired(PoolMetrics{Active: 2, Queue: 3, Busy: 2}); got != 2 {
+		t.Fatalf("below threshold: desired = %d, want 2", got)
+	}
+	// Mean queue at depth: one more (the legacy trigger uses integer mean).
+	if got := r.Desired(PoolMetrics{Active: 2, Queue: 4, Busy: 2}); got != 3 {
+		t.Fatalf("at threshold: desired = %d, want 3", got)
+	}
+	// Provisioning capacity counts toward the new total, so repeated
+	// observations during the provisioning delay don't re-order.
+	if got := r.Desired(PoolMetrics{Active: 2, Provisioning: 1, Queue: 4}); got != 4 {
+		t.Fatalf("with provisioning: desired = %d, want 4", got)
+	}
+}
+
+func TestReactiveDepthClamp(t *testing.T) {
+	r := Reactive{ScaleOutDepth: 0}
+	// Clamped to depth 1: any standing queue per instance scales out.
+	if got := r.Desired(PoolMetrics{Active: 1, Queue: 1}); got != 2 {
+		t.Fatalf("depth-clamped trigger: desired = %d, want 2", got)
+	}
+}
+
+func TestReactiveScaleInOnlyWhenIdle(t *testing.T) {
+	r := Reactive{ScaleOutDepth: 2, ScaleIn: true}
+	if got := r.Desired(PoolMetrics{Active: 3}); got != 2 {
+		t.Fatalf("idle pool: desired = %d, want 2", got)
+	}
+	// Any busy slot, queued work, or in-flight provisioning holds the pool
+	// at its ordered capacity (active + provisioning).
+	for _, m := range []PoolMetrics{
+		{Active: 3, Busy: 1},
+		{Active: 3, Queue: 1},
+		{Active: 3, Provisioning: 1},
+	} {
+		if got, want := r.Desired(m), m.Active+m.Provisioning; got != want {
+			t.Fatalf("non-idle %+v: desired = %d, want %d", m, got, want)
+		}
+	}
+	// Without ScaleIn an idle pool holds (the legacy scale-out-only shim).
+	if got := (Reactive{ScaleOutDepth: 2}).Desired(PoolMetrics{Active: 3}); got != 3 {
+		t.Fatalf("scale-in disabled: desired = %d, want 3", got)
+	}
+}
+
+func TestReactiveEmptyPool(t *testing.T) {
+	if got := (Reactive{ScaleOutDepth: 2}).Desired(PoolMetrics{}); got != 1 {
+		t.Fatalf("empty pool: desired = %d, want 1", got)
+	}
+}
+
+func TestTargetUtilizationSizing(t *testing.T) {
+	u := TargetUtilization{PerInstance: 1}
+	if u.Name() != "target-util" {
+		t.Fatalf("name = %q", u.Name())
+	}
+	cases := []struct {
+		load float64
+		want int
+	}{
+		{0, 0}, {0.5, 1}, {1, 1}, {1.5, 2}, {4, 4}, {4.01, 5},
+	}
+	for _, c := range cases {
+		if got := u.Desired(PoolMetrics{Load: c.load}); got != c.want {
+			t.Fatalf("load %v: desired = %d, want %d", c.load, got, c.want)
+		}
+	}
+	// A burst can order several instances in one step — the step-at-a-time
+	// Reactive can't.
+	if got := u.Desired(PoolMetrics{Active: 1, Load: 7}); got != 7 {
+		t.Fatalf("burst: desired = %d, want 7", got)
+	}
+}
+
+func TestTargetUtilizationSetpointDefaults(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		u := TargetUtilization{PerInstance: bad}
+		// Default setpoint 0.75: load 3 → ceil(3/0.75) = 4.
+		if got := u.Desired(PoolMetrics{Load: 3}); got != 4 {
+			t.Fatalf("PerInstance=%v: desired = %d, want 4", bad, got)
+		}
+	}
+}
+
+func TestPredictiveOrdersAheadOfTrend(t *testing.T) {
+	p := Predictive{PerInstance: 1, Lead: 2}
+	if p.Name() != "predictive" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	// Rising ramp 0,1,2,3: slope 1, forecast at lead 2 = 5 → five instances
+	// ordered while current load alone would only ask for three.
+	rising := PoolMetrics{Active: 1, Load: 3, History: []float64{0, 1, 2, 3}}
+	if got := p.Desired(rising); got != 5 {
+		t.Fatalf("rising trend: desired = %d, want 5", got)
+	}
+	cur := TargetUtilization{PerInstance: 1}.Desired(PoolMetrics{Load: 3})
+	if got := p.Desired(rising); got <= cur {
+		t.Fatalf("predictive (%d) should order ahead of target-util (%d)", got, cur)
+	}
+}
+
+func TestPredictiveNeverShedsStandingLoad(t *testing.T) {
+	// Falling trend forecasts below current load; a standing queue must win.
+	m := PoolMetrics{Active: 4, Load: 4, History: []float64{10, 8, 6, 4}}
+	if got := (Predictive{PerInstance: 1, Lead: 2}).Desired(m); got != 4 {
+		t.Fatalf("falling trend with standing load: desired = %d, want 4", got)
+	}
+}
+
+func TestPredictiveLeadDefault(t *testing.T) {
+	// Lead <= 0 defaults to 2: ramp 1,2,3 → forecast 3 + 2 = 5.
+	m := PoolMetrics{Load: 3, History: []float64{1, 2, 3}}
+	if got := (Predictive{PerInstance: 1}).Desired(m); got != 5 {
+		t.Fatalf("default lead: desired = %d, want 5", got)
+	}
+}
+
+func TestForecast(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if got := Forecast(nil, 2); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := Forecast([]float64{7}, 3); got != 7 {
+		t.Fatalf("single sample: %v", got)
+	}
+	if got := Forecast([]float64{2, 4, 6}, 1); !approx(got, 8) {
+		t.Fatalf("linear ramp lead 1: %v, want 8", got)
+	}
+	if got := Forecast([]float64{2, 4, 6}, 3); !approx(got, 12) {
+		t.Fatalf("linear ramp lead 3: %v, want 12", got)
+	}
+	// Flat series extrapolates flat.
+	if got := Forecast([]float64{5, 5, 5, 5}, 4); !approx(got, 5) {
+		t.Fatalf("flat: %v, want 5", got)
+	}
+	// Falling below zero clamps.
+	if got := Forecast([]float64{3, 2, 1}, 5); got != 0 {
+		t.Fatalf("negative extrapolation: %v, want 0", got)
+	}
+	// Non-finite samples must not escape as NaN.
+	if got := Forecast([]float64{1, math.NaN(), 3}, 2); math.IsNaN(got) {
+		t.Fatal("NaN escaped Forecast")
+	}
+	if got := Forecast([]float64{1, math.Inf(1)}, 2); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Inf escaped Forecast: %v", got)
+	}
+}
+
+func TestSizeForNeverNegative(t *testing.T) {
+	if got := sizeFor(-3, 0.75); got != 0 {
+		t.Fatalf("negative load: %d", got)
+	}
+	if got := sizeFor(0, 0.75); got != 0 {
+		t.Fatalf("zero load: %d", got)
+	}
+}

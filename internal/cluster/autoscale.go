@@ -3,9 +3,9 @@ package cluster
 import (
 	"time"
 
+	"grouter/internal/autoscale"
 	"grouter/internal/fabric"
 	"grouter/internal/scheduler"
-	"grouter/internal/sim"
 )
 
 // AutoscaleConfig drives per-stage instance scaling, the elasticity the
@@ -45,6 +45,8 @@ func (a *App) poolOf(si scheduler.StageInst) []fabric.Location {
 
 // instanceFor picks the pool member serving request seq: the Route hook when
 // one is installed (falling back on a declined pick), round-robin otherwise.
+// The second return is the pick's stable member id (the cold-start state
+// key); the caller must retire it with poolDone once the activation ends.
 func (a *App) instanceFor(si scheduler.StageInst, seq int64) (fabric.Location, int) {
 	pool := a.poolOf(si)
 	if len(pool) == 0 {
@@ -54,11 +56,17 @@ func (a *App) instanceFor(si scheduler.StageInst, seq int64) (fabric.Location, i
 	}
 	if a.Route != nil {
 		if idx, ok := a.Route(si, seq, pool); ok && idx >= 0 && idx < len(pool) {
-			return pool[idx], idx
+			return pool[idx], a.poolPicked(si, idx)
 		}
 	}
-	idx := int(seq) % len(pool)
-	return pool[idx], idx
+	// Modulo in int64 before narrowing: int(seq) % len(pool) overflows on
+	// 32-bit ints past seq 2^31 and yields a negative index (panic). The
+	// clamp keeps the pick total for negative seq too.
+	idx := int(seq % int64(len(pool)))
+	if idx < 0 {
+		idx += len(pool)
+	}
+	return pool[idx], a.poolPicked(si, idx)
 }
 
 // Replicas returns the current pool size of a stage instance.
@@ -70,50 +78,21 @@ func (a *App) Replicas(stage string, replica int) int {
 func (a *App) ScaleEvents() int64 { return a.scaleEvents }
 
 // EnableAutoscale starts a daemon controller that scales GPU stages out when
-// their instances' GPU queues stay above the threshold.
+// their instances' GPU queues stay above the threshold. It is a
+// configuration of the elastic pool layer (see EnableElastic): scale-out
+// only, no cooldowns, no pre-warming — new instances serve immediately and
+// their first routed request pays the cold start.
 func (a *App) EnableAutoscale(cfg AutoscaleConfig) {
 	if cfg.MaxReplicas < 1 {
 		cfg.MaxReplicas = 1
 	}
-	if cfg.Interval <= 0 {
-		cfg.Interval = 250 * time.Millisecond
-	}
 	if cfg.QueueThreshold < 1 {
 		cfg.QueueThreshold = 1
 	}
-	a.poolsMap() // materialize before the controller races with Invoke
-	a.C.Engine.GoDaemon("autoscale-"+a.WF.Name, func(p *sim.Proc) {
-		for {
-			p.Sleep(cfg.Interval)
-			a.evaluateScaling(cfg)
-		}
+	a.EnableElastic(ElasticConfig{
+		Scaler:   autoscale.Reactive{ScaleOutDepth: cfg.QueueThreshold},
+		Min:      1,
+		Max:      cfg.MaxReplicas,
+		Interval: cfg.Interval,
 	})
-}
-
-// evaluateScaling runs one controller step.
-func (a *App) evaluateScaling(cfg AutoscaleConfig) {
-	for _, s := range a.WF.Stages {
-		if !s.IsGPU() {
-			continue
-		}
-		for r := 0; r < s.ReplicaCount(); r++ {
-			si := scheduler.StageInst{Stage: s.Name, Replica: r}
-			pool := a.poolOf(si)
-			if len(pool) >= cfg.MaxReplicas {
-				continue
-			}
-			depth := 0
-			for _, loc := range pool {
-				depth += a.C.resourceAt(loc).QueueLen()
-			}
-			if depth/len(pool) < cfg.QueueThreshold {
-				continue
-			}
-			// Scale out: provision one more instance on a lightly loaded GPU
-			// of the same node (hierarchical control plane: local decision).
-			loc := a.C.Placer.PlaceSingle(pool[0].Node)
-			a.pools[si] = append(a.pools[si], loc)
-			a.scaleEvents++
-		}
-	}
 }

@@ -170,9 +170,17 @@ type App struct {
 	coldStarts int64
 
 	// pools are per-stage instance pools managed by the autoscaler (nil
-	// until first use: one instance per stage from Placement).
+	// until first use: one instance per stage from Placement); elastic is
+	// the elastic pool controller when EnableElastic has run.
 	pools       map[scheduler.StageInst][]fabric.Location
+	elastic     *ElasticPools
 	scaleEvents int64
+
+	// OnPoolChange, when non-nil, observes every routable-pool membership
+	// change (scale-out completion, cordon, crash blacklist, recovery) in
+	// event context. The front-door router refreshes its worker snapshot
+	// from it; the hook must not start simulation activity.
+	OnPoolChange func(si scheduler.StageInst, pool []fabric.Location)
 
 	// Route, when non-nil, overrides the round-robin pool-member selection
 	// for every stage activation (the front-door router installs itself

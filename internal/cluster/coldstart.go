@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"grouter/internal/fabric"
 	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/xfer"
@@ -40,7 +41,10 @@ type instanceState struct {
 	lastUsed time.Duration
 }
 
-// instKey identifies one pool replica of one stage instance.
+// instKey identifies one pool replica of one stage instance. idx is the
+// replica's stable member id — under elastic pools ids survive membership
+// churn (a drain compacts the routable slice but never renumbers survivors),
+// so warmth state always follows the same physical instance.
 type instKey struct {
 	si  scheduler.StageInst
 	idx int
@@ -67,16 +71,18 @@ func (a *App) ColdStarts() int64 { return a.coldStarts }
 // ensureWarm pays the cold-start penalty if the instance is cold or its
 // keep-alive expired. It must run while the instance's compute slot is held.
 // Model weights load from host memory over the instance's local PCIe route
-// at full pinned bandwidth.
-func (a *App) ensureWarm(p *sim.Proc, si scheduler.StageInst, poolIdx int, weights int64) {
+// at full pinned bandwidth. loc is the activation's resolved location: the
+// pool may have been rebuilt (drain, crash, scale) since the pick, so the
+// member id must never be re-indexed into the current routable slice.
+func (a *App) ensureWarm(p *sim.Proc, si scheduler.StageInst, memberID int, loc fabric.Location, weights int64) {
 	if !a.Cold.Enabled || a.instances == nil {
 		return
 	}
-	st := a.instances[instKey{si, poolIdx}]
+	st := a.instances[instKey{si, memberID}]
 	if st == nil {
 		// Autoscaled instance created after SetColdStart: starts cold.
 		st = &instanceState{}
-		a.instances[instKey{si, poolIdx}] = st
+		a.instances[instKey{si, memberID}] = st
 	}
 	now := p.Now()
 	if st.warm && a.Cold.KeepAlive > 0 && now-st.lastUsed > a.Cold.KeepAlive {
@@ -85,7 +91,6 @@ func (a *App) ensureWarm(p *sim.Proc, si scheduler.StageInst, poolIdx int, weigh
 	if !st.warm {
 		p.Sleep(a.Cold.ContainerLatency)
 		if weights > 0 {
-			loc := a.poolOf(si)[poolIdx]
 			if !loc.IsHost() {
 				topo := a.C.Fabric.Topo(loc.Node)
 				a.C.xm.Transfer(p, xfer.Request{

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"grouter/internal/autoscale"
 	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
@@ -94,5 +95,85 @@ func TestDefaultColdStartValues(t *testing.T) {
 	p := DefaultColdStart()
 	if !p.Enabled || p.ContainerLatency <= 0 || p.KeepAlive <= 0 || p.Prewarm {
 		t.Errorf("unexpected defaults: %+v", p)
+	}
+}
+
+func TestAutoscaledReplicaChargedColdStart(t *testing.T) {
+	// Satellite pin: the first request routed to a freshly scaled replica is
+	// actually charged the ColdStartPolicy latency, even when the deployed
+	// base instances are pre-warmed.
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	const lat = 200 * time.Millisecond
+	app.SetColdStart(ColdStartPolicy{Enabled: true, ContainerLatency: lat,
+		KeepAlive: time.Minute, Prewarm: true})
+	e2e := map[int64]time.Duration{}
+	app.OnComplete = func(seq int64, _, d time.Duration) { e2e[seq] = d }
+	app.EnableElastic(ElasticConfig{
+		Scaler:   autoscale.Fixed{Replicas: 2},
+		Min:      1,
+		Max:      2,
+		Interval: 50 * time.Millisecond,
+	})
+	e.Run(100 * time.Millisecond) // one controller step: every pool at 2
+	if app.ColdStarts() != 0 {
+		t.Fatalf("scale-out alone paid %d cold starts without Prewarm provisioning", app.ColdStarts())
+	}
+	// Round-robin over a 2-pool: seq 1 → member id 1 (the cold autoscaled
+	// replica, for all 3 GPU stages), seq 2 → member id 0 (pre-warmed base).
+	app.Invoke()
+	app.Invoke()
+	e.Run(0)
+	if got := app.ColdStarts(); got != 3 {
+		t.Fatalf("cold starts = %d, want 3 (one per stage of the cold-replica request)", got)
+	}
+	if e2e[1] < 3*lat {
+		t.Errorf("cold-replica request e2e %v should pay 3 serial container latencies (>= %v)", e2e[1], 3*lat)
+	}
+	if e2e[2] >= lat {
+		t.Errorf("pre-warmed-path request e2e %v should stay below one container latency %v", e2e[2], lat)
+	}
+}
+
+func TestElasticPrewarmProvisioning(t *testing.T) {
+	// Prewarm + autoscaler: a scaled replica provisions in the background —
+	// not routable until ProvisionDelay elapses, and then already warm, so
+	// no request is ever charged its cold start.
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	app.SetColdStart(ColdStartPolicy{Enabled: true, ContainerLatency: 200 * time.Millisecond,
+		KeepAlive: time.Minute, Prewarm: true})
+	ep := app.EnableElastic(ElasticConfig{
+		Scaler:         autoscale.Fixed{Replicas: 2},
+		Min:            1,
+		Max:            2,
+		Interval:       50 * time.Millisecond,
+		Prewarm:        true,
+		ProvisionDelay: 300 * time.Millisecond,
+	})
+	e.Run(60 * time.Millisecond) // scale-out ordered, still provisioning
+	si := scheduler.StageInst{Stage: "segmentation", Replica: 0}
+	if active, prov, _ := ep.Replicas("segmentation", 0); active != 1 || prov != 1 {
+		t.Fatalf("active/prov = %d/%d during provisioning, want 1/1", active, prov)
+	}
+	if got := len(app.poolOf(si)); got != 1 {
+		t.Fatalf("provisioning member already routable: pool size %d", got)
+	}
+	e.Run(500 * time.Millisecond) // provisioning delay elapsed
+	if active, prov, _ := ep.Replicas("segmentation", 0); active != 2 || prov != 0 {
+		t.Fatalf("active/prov = %d/%d after provisioning, want 2/0", active, prov)
+	}
+	app.Invoke()
+	app.Invoke()
+	e.Run(0)
+	if app.Completed != 2 {
+		t.Fatalf("completed %d", app.Completed)
+	}
+	if got := app.ColdStarts(); got != 0 {
+		t.Errorf("cold starts = %d, want 0 — pre-warmed provisioning must absorb them", got)
 	}
 }

@@ -1,0 +1,522 @@
+package cluster
+
+import (
+	"time"
+
+	"grouter/internal/autoscale"
+	"grouter/internal/fabric"
+	"grouter/internal/faults"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/workflow"
+)
+
+// Elastic instance pools. EnableElastic upgrades the app's per-stage pools
+// from the scale-out-only autoscaler to a full elastic layer: a pluggable
+// Autoscaler strategy (internal/autoscale) evaluated on a virtual-time
+// interval, min/max bounds, per-direction cooldowns, scale-in with
+// cordon/drain (a draining replica takes no new picks and is torn down only
+// once its in-flight requests complete), crash health tracking fed by
+// faults.Injector, and provisioning that pays the cold-start machinery's
+// latency. Pool members carry stable ids so warmth state (coldstart.go) and
+// in-flight accounting survive membership churn; the routable slice handed to
+// instanceFor and the Route hook is rebuilt on every membership change and
+// announced through App.OnPoolChange so the front-door router can refresh.
+
+// memberPhase is one pool replica's lifecycle state.
+type memberPhase int8
+
+const (
+	// memberActive replicas are routable (when healthy).
+	memberActive memberPhase = iota
+	// memberProvisioning replicas are paying their provisioning delay; they
+	// take no picks until it elapses (pre-warmed scale-out).
+	memberProvisioning
+	// memberDraining replicas are cordoned: no new picks, in-flight requests
+	// complete, then teardown.
+	memberDraining
+	// memberGone replicas are torn down; the id is never reused.
+	memberGone
+)
+
+// poolMember is one replica of one stage's instance pool.
+type poolMember struct {
+	id       int
+	loc      fabric.Location
+	phase    memberPhase
+	healthy  bool
+	inflight int
+	// since is the provisioning instant; GPU-seconds accrue from here until
+	// teardown (capacity is paid for while it provisions).
+	since time.Duration
+}
+
+// poolState is the elastic state of one stage instance's pool.
+type poolState struct {
+	si    scheduler.StageInst
+	stage *workflow.Stage
+	// home is the stage's base placement node — scale-out prefers it.
+	home int
+	// need is the memory a replica must find free on its GPU: weights plus
+	// the working set at the app's deployed batch.
+	need int64
+	// members is append-only (gone members stay, phase memberGone) so ids
+	// stay stable; slots mirrors the routable slice in a.pools[si].
+	members []*poolMember
+	nextID  int
+	slots   []*poolMember
+	// lastOut/lastIn gate the per-direction cooldowns.
+	lastOut, lastIn time.Duration
+	// hist holds recent load observations for predictive strategies.
+	hist []float64
+	// gpuSeconds accumulates departed members' active time.
+	gpuSeconds time.Duration
+}
+
+// ElasticConfig tunes the elastic pool layer.
+type ElasticConfig struct {
+	// Scaler is the scaling strategy (default Reactive{ScaleOutDepth: 2,
+	// ScaleIn: true}).
+	Scaler autoscale.Autoscaler
+	// Min and Max bound each pool's desired active replica count. Min is
+	// clamped to >= 1: a stage always keeps one routable instance (its base
+	// placement); scale-to-zero of *warmth* is the cold-start policy's
+	// KeepAlive job. Defaults: Min 1, Max 4.
+	Min, Max int
+	// Interval is the controller's evaluation period (default 250ms).
+	Interval time.Duration
+	// ScaleOutCooldown suppresses a scale-out within the window after the
+	// previous one; ScaleInCooldown suppresses a scale-in within the window
+	// after any scale event (so freshly ordered capacity is not immediately
+	// shed). Both default to zero — every interval may act.
+	ScaleOutCooldown time.Duration
+	ScaleInCooldown  time.Duration
+	// HistoryWindow bounds the per-pool load history handed to predictive
+	// strategies (default 8 observations).
+	HistoryWindow int
+	// Prewarm provisions scaled-out replicas in the background: the new
+	// member becomes routable only after ProvisionDelay, already warm, so no
+	// request is charged its cold start. False (the default) makes the new
+	// member routable immediately and the first routed request pays the
+	// ColdStartPolicy latency — the legacy autoscaler's behavior.
+	Prewarm bool
+	// ProvisionDelay is the scale-out provisioning latency; zero defaults to
+	// the app's ColdStartPolicy.ContainerLatency when cold starts are
+	// enabled, else zero (instant).
+	ProvisionDelay time.Duration
+	// RecoverAfter is how long a crashed member stays out of the routable
+	// set after a WatchFaults GPU-crash signal (default 500ms).
+	RecoverAfter time.Duration
+}
+
+// DefaultElastic returns a responsive, scale-in-capable configuration.
+func DefaultElastic() ElasticConfig {
+	return ElasticConfig{
+		Scaler:          autoscale.Reactive{ScaleOutDepth: 2, ScaleIn: true},
+		Min:             1,
+		Max:             4,
+		Interval:        250 * time.Millisecond,
+		ScaleInCooldown: 500 * time.Millisecond,
+	}
+}
+
+// ElasticStats counts elastic controller activity, all in virtual time.
+type ElasticStats struct {
+	// ScaleOuts and ScaleIns count ordered provisions and cordons; Drained
+	// counts completed teardowns (every ScaleIn eventually drains).
+	ScaleOuts int64
+	ScaleIns  int64
+	Drained   int64
+	// Crashes counts members blacklisted by fault signals; Recoveries counts
+	// members returned to the routable set.
+	Crashes    int64
+	Recoveries int64
+}
+
+// ElasticPools is the handle EnableElastic returns: controller statistics,
+// fault wiring, and the GPU-seconds cost axis of the ext-elastic experiment.
+type ElasticPools struct {
+	app   *App
+	cfg   ElasticConfig
+	pools map[scheduler.StageInst]*poolState
+	// order fixes the controller's pool evaluation order (stage declaration
+	// order, replicas ascending) for determinism.
+	order []*poolState
+
+	Stats ElasticStats
+}
+
+// EnableElastic starts the elastic pool controller. Call at most once per
+// app (EnableAutoscale is a configuration of the same controller), before
+// the first request.
+func (a *App) EnableElastic(cfg ElasticConfig) *ElasticPools {
+	if a.elastic != nil {
+		panic("cluster: elastic pools already enabled")
+	}
+	if cfg.Scaler == nil {
+		cfg.Scaler = autoscale.Reactive{ScaleOutDepth: 2, ScaleIn: true}
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.HistoryWindow < 2 {
+		cfg.HistoryWindow = 8
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = 500 * time.Millisecond
+	}
+	a.poolsMap() // materialize before the controller races with Invoke
+	ep := &ElasticPools{app: a, cfg: cfg, pools: map[scheduler.StageInst]*poolState{}}
+	now := a.C.Engine.Now()
+	for _, s := range a.WF.Stages {
+		if !s.IsGPU() {
+			continue
+		}
+		need := s.Model.WeightsBytes + s.Model.InBytes(a.Batch) + s.Model.OutBytes(a.Batch)
+		for r := 0; r < s.ReplicaCount(); r++ {
+			si := scheduler.StageInst{Stage: s.Name, Replica: r}
+			ps := &poolState{si: si, stage: s, home: a.Placement[si].Node, need: need}
+			for _, loc := range a.poolOf(si) {
+				m := &poolMember{id: ps.nextID, loc: loc, phase: memberActive, healthy: true, since: now}
+				ps.nextID++
+				ps.members = append(ps.members, m)
+				ps.slots = append(ps.slots, m)
+			}
+			ep.pools[si] = ps
+			ep.order = append(ep.order, ps)
+		}
+	}
+	a.elastic = ep
+	a.C.Engine.GoDaemon("elastic-"+a.WF.Name, func(p *sim.Proc) {
+		for {
+			p.Sleep(cfg.Interval)
+			ep.step()
+		}
+	})
+	return ep
+}
+
+// Elastic returns the app's elastic pool handle, or nil before EnableElastic.
+func (a *App) Elastic() *ElasticPools { return a.elastic }
+
+// provisionDelay is the scale-out latency a new member pays before serving.
+func (ep *ElasticPools) provisionDelay() time.Duration {
+	if ep.cfg.ProvisionDelay > 0 {
+		return ep.cfg.ProvisionDelay
+	}
+	if ep.app.Cold.Enabled {
+		return ep.app.Cold.ContainerLatency
+	}
+	return 0
+}
+
+// observe builds one pool's metrics snapshot and pushes the load history.
+func (ep *ElasticPools) observe(ps *poolState) autoscale.PoolMetrics {
+	m := autoscale.PoolMetrics{}
+	for _, mem := range ps.members {
+		switch mem.phase {
+		case memberActive:
+			if !mem.healthy {
+				m.Unhealthy++
+				continue
+			}
+			m.Active++
+			r := ep.app.C.resourceAt(mem.loc)
+			m.Queue += r.QueueLen()
+			m.Busy += r.InUse()
+		case memberProvisioning:
+			m.Provisioning++
+		case memberDraining:
+			m.Draining++
+		}
+	}
+	m.Load = float64(m.Queue + m.Busy)
+	ps.hist = append(ps.hist, m.Load)
+	if n := len(ps.hist) - ep.cfg.HistoryWindow; n > 0 {
+		ps.hist = ps.hist[n:]
+	}
+	m.History = ps.hist
+	return m
+}
+
+// step runs one controller evaluation over every pool.
+func (ep *ElasticPools) step() {
+	now := ep.app.C.Engine.Now()
+	for _, ps := range ep.order {
+		m := ep.observe(ps)
+		want := ep.cfg.Scaler.Desired(m)
+		if want < ep.cfg.Min {
+			want = ep.cfg.Min
+		}
+		if want > ep.cfg.Max {
+			want = ep.cfg.Max
+		}
+		// Provisioning members count as ordered capacity: repeated ticks
+		// inside the provisioning delay must not re-order it.
+		live := m.Active + m.Provisioning
+		switch {
+		case want > live:
+			if ep.cfg.ScaleOutCooldown > 0 && ps.lastOut > 0 && now-ps.lastOut < ep.cfg.ScaleOutCooldown {
+				continue
+			}
+			for i := live; i < want; i++ {
+				ep.scaleOut(ps, now)
+			}
+			ps.lastOut = now
+		case want < m.Active:
+			last := ps.lastOut
+			if ps.lastIn > last {
+				last = ps.lastIn
+			}
+			if ep.cfg.ScaleInCooldown > 0 && last > 0 && now-last < ep.cfg.ScaleInCooldown {
+				continue
+			}
+			ep.scaleIn(ps, m.Active-want, now)
+			ps.lastIn = now
+		}
+	}
+}
+
+// scaleOut provisions one new member for the pool.
+func (ep *ElasticPools) scaleOut(ps *poolState, now time.Duration) {
+	a := ep.app
+	loc := a.C.Placer.PlaceSingleFit(ps.home, ps.need, func(l fabric.Location) int64 {
+		return a.C.Fabric.Mem(l).Free()
+	})
+	m := &poolMember{id: ps.nextID, loc: loc, healthy: true, since: now}
+	ps.nextID++
+	ps.members = append(ps.members, m)
+	a.scaleEvents++
+	ep.Stats.ScaleOuts++
+	delay := ep.provisionDelay()
+	if ep.cfg.Prewarm && delay > 0 {
+		// Background provisioning: routable after the delay, already warm.
+		m.phase = memberProvisioning
+		a.C.Engine.ScheduleDaemon(delay, func() {
+			if m.phase != memberProvisioning {
+				return
+			}
+			m.phase = memberActive
+			ep.markWarm(ps.si, m)
+			ep.rebuild(ps)
+		})
+		return
+	}
+	m.phase = memberActive
+	if ep.cfg.Prewarm {
+		ep.markWarm(ps.si, m)
+	}
+	// Without Prewarm the member is routable now and its first routed
+	// request pays the cold start (ensureWarm finds no warmth state).
+	ep.rebuild(ps)
+}
+
+// markWarm records a pre-warmed member's warmth so its first request is not
+// charged a cold start.
+func (ep *ElasticPools) markWarm(si scheduler.StageInst, m *poolMember) {
+	a := ep.app
+	if !a.Cold.Enabled || a.instances == nil {
+		return
+	}
+	a.instances[instKey{si, m.id}] = &instanceState{warm: true, lastUsed: a.C.Engine.Now()}
+}
+
+// scaleIn cordons n members: unhealthy ones first, then newest (highest id),
+// never touching draining/provisioning members or the last active one.
+func (ep *ElasticPools) scaleIn(ps *poolState, n int, now time.Duration) {
+	for ; n > 0; n-- {
+		var victim *poolMember
+		active := 0
+		for _, m := range ps.members {
+			if m.phase != memberActive {
+				continue
+			}
+			active++
+			if victim == nil {
+				victim = m
+				continue
+			}
+			// Unhealthy beats healthy; within a class, highest id (newest).
+			if (!m.healthy && victim.healthy) || (m.healthy == victim.healthy && m.id > victim.id) {
+				victim = m
+			}
+		}
+		if victim == nil || active <= 1 {
+			return
+		}
+		victim.phase = memberDraining
+		ep.Stats.ScaleIns++
+		ep.rebuild(ps)
+		if victim.inflight <= 0 {
+			ep.finalize(ps, victim, now)
+		}
+	}
+}
+
+// finalize tears down a fully drained member.
+func (ep *ElasticPools) finalize(ps *poolState, m *poolMember, now time.Duration) {
+	m.phase = memberGone
+	ps.gpuSeconds += now - m.since
+	ep.app.C.Placer.Unplace(m.loc)
+	if ep.app.instances != nil {
+		delete(ep.app.instances, instKey{ps.si, m.id})
+	}
+	ep.Stats.Drained++
+}
+
+// rebuild recomputes the pool's routable slice from member phases and
+// health, and announces the change.
+func (ep *ElasticPools) rebuild(ps *poolState) {
+	a := ep.app
+	slots := make([]*poolMember, 0, len(ps.members))
+	for _, m := range ps.members {
+		if m.phase == memberActive && m.healthy {
+			slots = append(slots, m)
+		}
+	}
+	if len(slots) == 0 {
+		// Degraded: every active member is crash-blacklisted. Keep them
+		// routable rather than emptying the pool — a request must always
+		// have somewhere to run (the pre-elastic behavior under crashes).
+		for _, m := range ps.members {
+			if m.phase == memberActive {
+				slots = append(slots, m)
+			}
+		}
+	}
+	if len(slots) == 0 {
+		panic("cluster: elastic pool " + ps.si.String() + " has no active members")
+	}
+	locs := make([]fabric.Location, len(slots))
+	for i, m := range slots {
+		locs[i] = m.loc
+	}
+	ps.slots = slots
+	a.pools[ps.si] = locs
+	if a.OnPoolChange != nil {
+		a.OnPoolChange(ps.si, locs)
+	}
+}
+
+// WatchFaults subscribes the pools to the injector's GPU crash signals:
+// members on a crashed GPU leave the routable set and return after
+// RecoverAfter (their stored warmth is not touched — the data plane already
+// models re-materialization).
+func (ep *ElasticPools) WatchFaults(in *faults.Injector) {
+	in.OnGPUCrash(func(node, gpu int) {
+		for _, ps := range ep.order {
+			changed := false
+			for _, m := range ps.members {
+				if m.loc.Node != node || m.loc.GPU != gpu || !m.healthy || m.phase == memberGone {
+					continue
+				}
+				m.healthy = false
+				ep.Stats.Crashes++
+				changed = true
+				m := m
+				ps := ps
+				ep.app.C.Engine.ScheduleDaemon(ep.cfg.RecoverAfter, func() {
+					if m.healthy || m.phase == memberGone {
+						return
+					}
+					m.healthy = true
+					ep.Stats.Recoveries++
+					ep.rebuild(ps)
+				})
+			}
+			if changed {
+				ep.rebuild(ps)
+			}
+		}
+	})
+}
+
+// GPUSeconds returns the fleet's accumulated GPU cost: every member's active
+// lifetime (provisioning included — capacity is paid for while it boots),
+// departed members at their teardown instant, live members up to now. The
+// ext-elastic experiment's cost axis.
+func (ep *ElasticPools) GPUSeconds() float64 {
+	now := ep.app.C.Engine.Now()
+	var total time.Duration
+	for _, ps := range ep.order {
+		total += ps.gpuSeconds
+		for _, m := range ps.members {
+			if m.phase != memberGone {
+				total += now - m.since
+			}
+		}
+	}
+	return total.Seconds()
+}
+
+// Replicas reports one pool's live member count (active + provisioning +
+// draining), for tests and diagnostics.
+func (ep *ElasticPools) Replicas(stage string, replica int) (active, provisioning, draining int) {
+	ps := ep.pools[scheduler.StageInst{Stage: stage, Replica: replica}]
+	if ps == nil {
+		return 0, 0, 0
+	}
+	for _, m := range ps.members {
+		switch m.phase {
+		case memberActive:
+			active++
+		case memberProvisioning:
+			provisioning++
+		case memberDraining:
+			draining++
+		}
+	}
+	return active, provisioning, draining
+}
+
+// memberID maps a routable-slice index to the member's stable id (the
+// cold-start state key); without elastic state ids equal indices.
+func (a *App) memberID(si scheduler.StageInst, idx int) int {
+	if a.elastic != nil {
+		if ps := a.elastic.pools[si]; ps != nil && idx < len(ps.slots) {
+			return ps.slots[idx].id
+		}
+	}
+	return idx
+}
+
+// poolPicked records one pick against the member serving it (in-flight
+// accounting for drain).
+func (a *App) poolPicked(si scheduler.StageInst, idx int) int {
+	if a.elastic != nil {
+		if ps := a.elastic.pools[si]; ps != nil && idx < len(ps.slots) {
+			m := ps.slots[idx]
+			m.inflight++
+			return m.id
+		}
+	}
+	return idx
+}
+
+// poolDone retires one pick; the last in-flight request of a draining member
+// triggers its teardown.
+func (a *App) poolDone(si scheduler.StageInst, id int) {
+	if a.elastic == nil {
+		return
+	}
+	ps := a.elastic.pools[si]
+	if ps == nil {
+		return
+	}
+	for _, m := range ps.members {
+		if m.id != id {
+			continue
+		}
+		m.inflight--
+		if m.phase == memberDraining && m.inflight <= 0 {
+			a.elastic.finalize(ps, m, a.C.Engine.Now())
+		}
+		return
+	}
+}

@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"grouter/internal/autoscale"
+	"grouter/internal/core"
+	"grouter/internal/dataplane"
+	"grouter/internal/fabric"
+	"grouter/internal/faults"
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+// completion is one OnComplete observation, the byte-identity unit of the
+// determinism and differential-oracle tests.
+type completion struct {
+	seq int64
+	at  time.Duration
+	e2e time.Duration
+}
+
+func recordCompletions(app *App) *[]completion {
+	out := &[]completion{}
+	app.OnComplete = func(seq int64, at, e2e time.Duration) {
+		*out = append(*out, completion{seq, at, e2e})
+	}
+	return out
+}
+
+func burst(e *sim.Engine, app *App, spec trace.Spec) {
+	for _, at := range trace.Generate(spec) {
+		at := at
+		e.Schedule(at, func() { app.Invoke() })
+	}
+}
+
+func TestInstanceForHugeSeq(t *testing.T) {
+	// Regression: int(seq) % len(pool) overflows 32-bit ints past seq 2^31
+	// and yields a negative index. The 10M-request regime reaches it.
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	si := scheduler.StageInst{Stage: "segmentation", Replica: 0}
+	app.poolsMap()
+	app.pools[si] = []fabric.Location{
+		{Node: 0, GPU: 1}, {Node: 0, GPU: 2}, {Node: 0, GPU: 3},
+	}
+	pool := app.pools[si]
+	for _, seq := range []int64{
+		int64(math.MaxInt32) + 1, // the 32-bit overflow point
+		int64(math.MaxInt32) * 7,
+		math.MaxInt64,
+		1 << 40,
+	} {
+		loc, id := app.instanceFor(si, seq)
+		want := int(seq % int64(len(pool)))
+		if id != want || loc != pool[want] {
+			t.Fatalf("seq %d: got (%v, %d), want (%v, %d)", seq, loc, id, pool[want], want)
+		}
+	}
+	// Negative seq (no caller sends one today) must still pick, not panic.
+	loc, id := app.instanceFor(si, -5)
+	if id < 0 || id >= len(pool) || loc != pool[id] {
+		t.Fatalf("negative seq: got (%v, %d)", loc, id)
+	}
+}
+
+func TestElasticScaleOutAndDrain(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	ep := app.EnableElastic(ElasticConfig{
+		Scaler:          autoscale.Reactive{ScaleOutDepth: 2, ScaleIn: true},
+		Min:             1,
+		Max:             4,
+		Interval:        100 * time.Millisecond,
+		ScaleInCooldown: 200 * time.Millisecond,
+	})
+	burst(e, app, trace.Spec{Pattern: trace.Sporadic, Duration: 3 * time.Second, MeanRPS: 80, Seed: 3})
+	// Run past the burst so the idle controller can drain back down.
+	e.Run(10 * time.Second)
+	if ep.Stats.ScaleOuts == 0 {
+		t.Fatal("no scale-out under overload")
+	}
+	if ep.Stats.ScaleIns == 0 {
+		t.Fatal("no scale-in after the burst ended")
+	}
+	if ep.Stats.Drained != ep.Stats.ScaleIns {
+		t.Fatalf("Drained = %d, ScaleIns = %d — every cordoned member must finish draining",
+			ep.Stats.Drained, ep.Stats.ScaleIns)
+	}
+	if got := app.ScaleEvents(); got != ep.Stats.ScaleOuts {
+		t.Fatalf("ScaleEvents() = %d, Stats.ScaleOuts = %d", got, ep.Stats.ScaleOuts)
+	}
+	// Idle pools are back at Min with nothing in flight or mid-drain.
+	for _, st := range []string{"denoise", "segmentation", "colorize"} {
+		active, prov, drain := ep.Replicas(st, 0)
+		if active != 1 || prov != 0 || drain != 0 {
+			t.Errorf("%s: active/prov/drain = %d/%d/%d, want 1/0/0", st, active, prov, drain)
+		}
+	}
+	if ep.GPUSeconds() <= 0 {
+		t.Error("GPU-seconds accounting is empty")
+	}
+}
+
+func TestElasticScaleOutCooldown(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	ep := app.EnableElastic(ElasticConfig{
+		Scaler:           autoscale.Reactive{ScaleOutDepth: 1},
+		Min:              1,
+		Max:              4,
+		Interval:         50 * time.Millisecond,
+		ScaleOutCooldown: time.Hour, // longer than the run: one scale-out per pool
+	})
+	burst(e, app, trace.Spec{Pattern: trace.Sporadic, Duration: 5 * time.Second, MeanRPS: 80, Seed: 3})
+	e.Run(0)
+	if ep.Stats.ScaleOuts == 0 {
+		t.Fatal("no scale-out under overload")
+	}
+	if ep.Stats.ScaleOuts > 3 {
+		t.Fatalf("ScaleOuts = %d with an uncooled window of one per pool (3 GPU pools)", ep.Stats.ScaleOuts)
+	}
+	for _, st := range []string{"denoise", "segmentation", "colorize"} {
+		if active, _, _ := ep.Replicas(st, 0); active > 2 {
+			t.Errorf("%s grew to %d actives inside one cooldown window", st, active)
+		}
+	}
+}
+
+func TestElasticMinFloor(t *testing.T) {
+	// Min above the deployed size provisions up to the floor even when idle.
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	ep := app.EnableElastic(ElasticConfig{
+		Scaler:   autoscale.Fixed{},
+		Min:      2,
+		Max:      2,
+		Interval: 50 * time.Millisecond,
+	})
+	e.Run(time.Second)
+	for _, st := range []string{"denoise", "segmentation", "colorize"} {
+		if active, _, _ := ep.Replicas(st, 0); active != 2 {
+			t.Errorf("%s actives = %d, want Min floor 2", st, active)
+		}
+	}
+	if ep.Stats.ScaleOuts != 3 {
+		t.Errorf("ScaleOuts = %d, want exactly one per pool", ep.Stats.ScaleOuts)
+	}
+}
+
+func TestElasticDrainCordonSemantics(t *testing.T) {
+	// White-box drain contract: a draining member takes no new picks, and
+	// teardown waits for its last in-flight request.
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	ep := app.EnableElastic(ElasticConfig{
+		Scaler:   autoscale.Fixed{},
+		Min:      1,
+		Max:      4,
+		Interval: time.Hour, // controller never steps; the test drives directly
+	})
+	si := scheduler.StageInst{Stage: "segmentation", Replica: 0}
+	ps := ep.pools[si]
+	ep.scaleOut(ps, e.Now())
+	if len(app.poolOf(si)) != 2 {
+		t.Fatalf("pool size = %d after scale-out, want 2", len(app.poolOf(si)))
+	}
+	// Pick member id 1 (seq 1 → index 1) and leave it in flight.
+	_, id := app.instanceFor(si, 1)
+	if id != 1 {
+		t.Fatalf("pick id = %d, want 1", id)
+	}
+	ep.scaleIn(ps, 1, e.Now())
+	if ep.Stats.ScaleIns != 1 {
+		t.Fatalf("ScaleIns = %d, want 1", ep.Stats.ScaleIns)
+	}
+	if ep.Stats.Drained != 0 {
+		t.Fatal("member torn down with a request still in flight")
+	}
+	if len(app.poolOf(si)) != 1 {
+		t.Fatalf("draining member still routable: pool size %d", len(app.poolOf(si)))
+	}
+	// Every new pick lands on the surviving member.
+	for seq := int64(2); seq < 8; seq++ {
+		if _, id := app.instanceFor(si, seq); id != 0 {
+			t.Fatalf("seq %d picked drained member %d", seq, id)
+		}
+		app.poolDone(si, 0)
+	}
+	// The in-flight request completing finalizes the teardown.
+	app.poolDone(si, 1)
+	if ep.Stats.Drained != 1 {
+		t.Fatalf("Drained = %d after last in-flight completed, want 1", ep.Stats.Drained)
+	}
+	if _, _, draining := ep.Replicas("segmentation", 0); draining != 0 {
+		t.Fatal("drained member still counted")
+	}
+}
+
+func TestElasticCrashRecovery(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	var pl *core.Plane
+	c := New(e, topology.DGXV100(), 1, func(f *fabric.Fabric) dataplane.Plane {
+		pl = core.New(f, core.FullConfig())
+		return pl
+	})
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+	ep := app.EnableElastic(ElasticConfig{
+		Scaler:       autoscale.Fixed{},
+		Min:          2,
+		Max:          2,
+		Interval:     50 * time.Millisecond,
+		RecoverAfter: 300 * time.Millisecond,
+	})
+	in := faults.NewInjector(e, c.Fabric.Net)
+	ep.WatchFaults(in)
+	e.Run(200 * time.Millisecond)
+	si := scheduler.StageInst{Stage: "segmentation", Replica: 0}
+	ps := ep.pools[si]
+	if len(ps.slots) != 2 {
+		t.Fatalf("pool at %d members before crash, want 2", len(ps.slots))
+	}
+	victim := ps.members[1]
+	in.CrashGPUAt(210*time.Millisecond, pl, victim.loc.Node, victim.loc.GPU)
+	e.Run(250 * time.Millisecond)
+	if victim.healthy {
+		t.Fatal("member still healthy after its GPU crashed")
+	}
+	if ep.Stats.Crashes == 0 {
+		t.Fatal("crash not counted")
+	}
+	for _, m := range ps.slots {
+		if m == victim {
+			t.Fatal("crashed member still routable")
+		}
+	}
+	// RecoverAfter elapses → back in the pool.
+	e.Run(600 * time.Millisecond)
+	if !victim.healthy {
+		t.Fatal("member never recovered")
+	}
+	if ep.Stats.Recoveries == 0 {
+		t.Fatal("recovery not counted")
+	}
+	if len(ps.slots) != 2 {
+		t.Fatalf("pool at %d members after recovery, want 2", len(ps.slots))
+	}
+}
+
+// TestElasticDifferentialOracle pins the tentpole's oracle: the elastic
+// machinery at a pinned pool size (Fixed, Min=Max=initial) must reproduce
+// the plain fixed-pool replay byte for byte — member ids, in-flight
+// accounting, and the controller daemon change nothing observable.
+func TestElasticDifferentialOracle(t *testing.T) {
+	spec := trace.Spec{Pattern: trace.Bursty, Duration: 3 * time.Second, MeanRPS: 60, Seed: 7}
+	run := func(elastic bool) []completion {
+		e := sim.NewEngine()
+		defer e.Close()
+		c := New(e, topology.DGXV100(), 1, grouterPlane)
+		app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+		out := recordCompletions(app)
+		if elastic {
+			app.EnableElastic(ElasticConfig{
+				Scaler:   autoscale.Fixed{Replicas: 1},
+				Min:      1,
+				Max:      1,
+				Interval: 100 * time.Millisecond,
+			})
+		}
+		burst(e, app, spec)
+		e.Run(0)
+		return *out
+	}
+	plain := run(false)
+	pinned := run(true)
+	if len(plain) == 0 {
+		t.Fatal("no completions")
+	}
+	if !reflect.DeepEqual(plain, pinned) {
+		t.Fatalf("pinned elastic replay diverged from plain replay: %d vs %d completions",
+			len(pinned), len(plain))
+	}
+}
+
+func TestElasticDoubleRunDeterminism(t *testing.T) {
+	run := func() ([]completion, ElasticStats) {
+		e := sim.NewEngine()
+		defer e.Close()
+		c := New(e, topology.DGXV100(), 1, grouterPlane)
+		app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+		out := recordCompletions(app)
+		app.SetColdStart(ColdStartPolicy{Enabled: true, ContainerLatency: 200 * time.Millisecond,
+			KeepAlive: time.Minute, Prewarm: true})
+		ep := app.EnableElastic(ElasticConfig{
+			Scaler:          autoscale.Predictive{PerInstance: 1.5},
+			Min:             1,
+			Max:             4,
+			Interval:        100 * time.Millisecond,
+			ScaleInCooldown: 300 * time.Millisecond,
+			Prewarm:         true,
+		})
+		burst(e, app, trace.Spec{Pattern: trace.Bursty, Duration: 4 * time.Second, MeanRPS: 80, Seed: 11})
+		e.Run(8 * time.Second)
+		return *out, ep.Stats
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if len(c1) == 0 {
+		t.Fatal("no completions")
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("elastic replay is not byte-identical across runs")
+	}
+	if s1 != s2 {
+		t.Fatalf("controller stats diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestElasticScaleOutMemoryPressure pins the placement bugfix: when the home
+// node's GPUs lack the free memory a replica needs, scale-out falls back to
+// another node instead of piling onto a memory-starved GPU, and evictions on
+// the starved node do not regress versus not scaling at all.
+func TestElasticScaleOutMemoryPressure(t *testing.T) {
+	spec := trace.Spec{Pattern: trace.Sporadic, Duration: 4 * time.Second, MeanRPS: 80, Seed: 3}
+	run := func(elastic bool) (node0Evicts int64, ep *ElasticPools, app *App) {
+		e := sim.NewEngine()
+		defer e.Close()
+		var pl *core.Plane
+		c := New(e, topology.DGXV100(), 2, func(f *fabric.Fabric) dataplane.Plane {
+			pl = core.New(f, core.FullConfig())
+			return pl
+		})
+		app = c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: 0})
+		// Starve node 0: leave 100 MB per GPU — activations fit, but a
+		// segmentation replica (240 MB of weights + activations) does not.
+		for _, dev := range c.Fabric.Nodes[0].GPUs {
+			if free := dev.Free(); free > 100<<20 {
+				if _, err := dev.Alloc(free - 100<<20); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if elastic {
+			ep = app.EnableElastic(ElasticConfig{
+				Scaler:   autoscale.Reactive{ScaleOutDepth: 2},
+				Min:      1,
+				Max:      4,
+				Interval: 100 * time.Millisecond,
+			})
+		}
+		burst(e, app, spec)
+		e.Run(0)
+		return pl.Store(0).Evictions.N, ep, app
+	}
+	fixedEvicts, _, _ := run(false)
+	elasticEvicts, ep, app := run(true)
+	if ep.Stats.ScaleOuts == 0 {
+		t.Fatal("no scale-out under overload")
+	}
+	// The segmentation replica cannot fit on node 0: every scaled member of
+	// that pool must have crossed to node 1.
+	si := scheduler.StageInst{Stage: "segmentation", Replica: 0}
+	ps := ep.pools[si]
+	if len(ps.members) < 2 {
+		t.Fatal("segmentation pool never grew")
+	}
+	for _, m := range ps.members[1:] {
+		if m.loc.Node != 1 {
+			t.Errorf("scaled segmentation replica landed on starved node %d GPU %d", m.loc.Node, m.loc.GPU)
+		}
+	}
+	// Offloading work to node 1 must not add eviction pressure on node 0.
+	slack := fixedEvicts/10 + 5
+	if elasticEvicts > fixedEvicts+slack {
+		t.Errorf("node-0 evictions regressed under scale-out: %d (elastic) vs %d (fixed)",
+			elasticEvicts, fixedEvicts)
+	}
+	if app.Completed == 0 {
+		t.Fatal("no completions under memory pressure")
+	}
+}

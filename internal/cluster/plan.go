@@ -355,7 +355,7 @@ func (ac *activation) Run(p *sim.Proc) {
 		heldAt := p.Now()
 		obs.Account(p, obs.CatQueue, heldAt-qStart)
 		wStart := p.Now()
-		a.ensureWarm(p, pi.si, ac.poolIdx, s.Model.WeightsBytes)
+		a.ensureWarm(p, pi.si, ac.poolIdx, ac.loc, s.Model.WeightsBytes)
 		obs.Account(p, obs.CatSetup, p.Now()-wStart)
 		if ingress.Bytes > 0 {
 			t0 := p.Now()
@@ -406,6 +406,9 @@ func (ac *activation) Run(p *sim.Proc) {
 			c.OnGPUService(ac.loc.Node, ac.loc.GPU, p.Now()-heldAt)
 		}
 	}
+	// Retire the pool pick (in-flight accounting for cordon/drain) whether
+	// the activation ran or was probabilistically skipped.
+	a.poolDone(pi.si, ac.poolIdx)
 	// Release inputs whether consumed or skipped.
 	for k := range pi.inputs {
 		sl := &st.slots[pi.inputs[k].prod]

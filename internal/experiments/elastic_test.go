@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"grouter/internal/trace"
+)
+
+func TestExtElasticRegistered(t *testing.T) {
+	e := ByID("ext-elastic")
+	if e == nil {
+		t.Fatal("ext-elastic not registered")
+	}
+	if e.Run == nil || e.Title == "" {
+		t.Fatal("ext-elastic registration incomplete")
+	}
+}
+
+// TestElasticTableSmoke runs the strategy comparison at a tiny request
+// count: three patterns times four strategies, identical request totals per
+// pattern, the fixed fleet never scaling in, and elastic fleets recording
+// scale activity.
+func TestElasticTableSmoke(t *testing.T) {
+	tbl := ElasticTable(1200)
+	if got := len(tbl.Rows); got != 12 {
+		t.Fatalf("rows = %d, want 12", got)
+	}
+	for i := 0; i < 12; i += 4 {
+		group := tbl.Rows[i : i+4]
+		for _, row := range group {
+			if len(row) != len(tbl.Columns) {
+				t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tbl.Columns))
+			}
+			if row[2] != group[0][2] {
+				t.Errorf("%s: request counts differ across strategies: %s vs %s",
+					row[0], row[2], group[0][2])
+			}
+			if sec, err := strconv.ParseFloat(row[3], 64); err != nil || sec <= 0 {
+				t.Errorf("%s/%s: gpu-sec = %q, want positive", row[0], row[1], row[3])
+			}
+		}
+		if group[0][1] != "fixed" || group[0][8] != "0" {
+			t.Errorf("%s: fixed fleet row malformed: %v", group[0][0], group[0])
+		}
+		if group[1][1] != "reactive" {
+			t.Errorf("%s: strategy order broken: %v", group[1][0], group[1])
+		}
+	}
+}
+
+// TestElasticTableDeterminism: the whole strategy comparison is byte
+// identical across two runs of the same build — virtual-time replays with
+// controller, drain, provisioning, and cold starts all inside the engine.
+func TestElasticTableDeterminism(t *testing.T) {
+	a := ElasticTable(1200)
+	b := ElasticTable(1200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ext-elastic table is not byte-identical across runs")
+	}
+}
+
+// TestElasticBeatsFixedFleet pins the acceptance criterion: on at least one
+// trace pattern, the reactive or predictive strategy consumes fewer
+// GPU-seconds than the peak-provisioned fixed fleet at equal-or-better p99.
+// The periodic pattern at 5k requests is the pinned regime: the fleet is
+// saturated enough that queueing, not provisioning lag, dominates the tail,
+// and the elastic fleet tracks the load cycle instead of idling at peak.
+func TestElasticBeatsFixedFleet(t *testing.T) {
+	const requests = 5000
+	strategies := elasticStrategies()
+	fixed := elasticReplay(trace.Periodic, requests, strategies[0].cfg)
+	reactive := elasticReplay(trace.Periodic, requests, strategies[1].cfg)
+	predictive := elasticReplay(trace.Periodic, requests, strategies[3].cfg)
+	wins := func(r elasticResult) bool {
+		return r.gpuSeconds < fixed.gpuSeconds && r.st.P99 <= fixed.st.P99
+	}
+	if !wins(reactive) && !wins(predictive) {
+		t.Fatalf("no elastic win over the fixed fleet:\nfixed:      %.1f gpu-sec, p99 %v\nreactive:   %.1f gpu-sec, p99 %v\npredictive: %.1f gpu-sec, p99 %v",
+			fixed.gpuSeconds, fixed.st.P99,
+			reactive.gpuSeconds, reactive.st.P99,
+			predictive.gpuSeconds, predictive.st.P99)
+	}
+	// The cost gap should be substantial, not marginal: the elastic fleet
+	// pays for capacity only while the load cycle needs it.
+	if predictive.gpuSeconds > 0.75*fixed.gpuSeconds {
+		t.Errorf("predictive fleet cost %.1f gpu-sec is not meaningfully below fixed %.1f",
+			predictive.gpuSeconds, fixed.gpuSeconds)
+	}
+}

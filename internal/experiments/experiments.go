@@ -95,6 +95,7 @@ func All() []Experiment {
 		{"ext-router", "Extension: gateway-grade routed admission vs placement-only", ExtRouter},
 		{"ext-scale", "Extension: trace replay at scale with batched admission", ExtScale},
 		{"ext-scale-shard", "Extension: scale-out fleet replay on the sharded engine", ExtScaleShard},
+		{"ext-elastic", "Extension: elastic instance pools, GPU-seconds vs p99 per strategy", ExtElastic},
 	}
 }
 

@@ -71,6 +71,11 @@ type Stats struct {
 	Fallbacks int64
 	// Crashes counts worker-down signals received from the fault injector.
 	Crashes int64
+	// PoolChanges counts elastic pool-membership announcements received;
+	// Seeded counts workers whose zero EWMA was seeded from the pool mean on
+	// arrival (see poolChanged).
+	PoolChanges int64
+	Seeded      int64
 }
 
 // Router scores a cluster's GPUs and routes one app's stage activations.
@@ -134,6 +139,7 @@ func New(app *cluster.App, cfg Config) *Router {
 		c.SetQueueAging(cfg.AgingAfter)
 	}
 	app.Route = r.route
+	app.OnPoolChange = r.poolChanged
 	return r
 }
 
@@ -171,6 +177,37 @@ func (r *Router) WatchFaults(in *faults.Injector) {
 		r.Stats.Crashes++
 		r.MarkDown(node, gpu)
 	})
+}
+
+// poolChanged is the App.OnPoolChange hook: an elastic pool grew, shrank, or
+// failed over. The cached snapshot is invalidated so the next pick sees the
+// new membership, and workers arriving with no service history get their
+// EWMA seeded from the mean of the pool's seasoned workers — a zero EWMA
+// scores as infinitely fast and would aim the whole burst that triggered the
+// scale-out at the cold replica.
+func (r *Router) poolChanged(si scheduler.StageInst, pool []fabric.Location) {
+	r.Stats.PoolChanges++
+	var sum time.Duration
+	n := 0
+	for _, loc := range pool {
+		if loc.IsHost() {
+			return
+		}
+		if e := r.ewma[r.widx(loc.Node, loc.GPU)]; e > 0 {
+			sum += e
+			n++
+		}
+	}
+	if n > 0 {
+		mean := sum / time.Duration(n)
+		for _, loc := range pool {
+			if i := r.widx(loc.Node, loc.GPU); r.ewma[i] == 0 {
+				r.ewma[i] = mean
+				r.Stats.Seeded++
+			}
+		}
+	}
+	r.fresh = false
 }
 
 // Snapshot returns the current cached worker states, refreshing if stale

@@ -169,3 +169,65 @@ func TestAllWorkersDownFallsBack(t *testing.T) {
 		t.Errorf("no fallbacks recorded (%+v) — ErrNoWorker path never taken", res.rs)
 	}
 }
+
+// TestPoolChangeSeedsNewWorkerEWMA pins the mid-interval scale-out bugfix: a
+// worker entering the pool with no service history must not score as
+// infinitely fast. The pool-change hook seeds its EWMA from the mean of the
+// pool's seasoned workers and invalidates the snapshot cache.
+func TestPoolChangeSeedsNewWorkerEWMA(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := cluster.New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0})
+	rt := router.New(app, router.DefaultConfig())
+	// Season two workers through the service hook the cluster normally fires.
+	c.OnGPUService(0, 0, 10*time.Millisecond)
+	c.OnGPUService(0, 1, 20*time.Millisecond)
+	// Before any pool change, the zero-history worker is the scorer's
+	// latency favorite — the bug this test pins.
+	snap := rt.Snapshot()
+	pre := []router.WorkerState{snap[0], snap[1], snap[2]}
+	scores := router.Score(pre, router.Weights{Latency: 1})
+	if !(scores[2] > scores[0] && scores[2] > scores[1]) {
+		t.Fatalf("precondition: zero-EWMA worker should look fastest, scores %v", scores)
+	}
+	// The autoscaler announces worker (0,2) joining the pool.
+	pool := []fabric.Location{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}, {Node: 0, GPU: 2}}
+	app.OnPoolChange(scheduler.StageInst{Stage: "segmentation"}, pool)
+	if rt.Stats.PoolChanges != 1 || rt.Stats.Seeded != 1 {
+		t.Fatalf("PoolChanges/Seeded = %d/%d, want 1/1", rt.Stats.PoolChanges, rt.Stats.Seeded)
+	}
+	snap = rt.Snapshot()
+	if got, want := snap[2].EWMALatency, 15*time.Millisecond; got != want {
+		t.Fatalf("new worker EWMA = %v, want pool mean %v", got, want)
+	}
+	if snap[0].EWMALatency != 10*time.Millisecond || snap[1].EWMALatency != 20*time.Millisecond {
+		t.Fatalf("seasoned workers perturbed: %v, %v", snap[0].EWMALatency, snap[1].EWMALatency)
+	}
+	// Post-seed, the newcomer no longer dominates on latency.
+	post := []router.WorkerState{snap[0], snap[1], snap[2]}
+	scores = router.Score(post, router.Weights{Latency: 1})
+	if scores[2] > scores[0] {
+		t.Fatalf("seeded worker still outranks the fastest seasoned one: %v", scores)
+	}
+}
+
+// TestPoolChangeAllColdLeavesEWMAUnseeded covers the degenerate pool with no
+// seasoned member: there is no mean to seed from, so EWMAs stay zero (all
+// workers equally unknown — uniform, not skewed).
+func TestPoolChangeAllColdLeavesEWMAUnseeded(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := cluster.New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0})
+	rt := router.New(app, router.DefaultConfig())
+	pool := []fabric.Location{{Node: 0, GPU: 3}, {Node: 0, GPU: 4}}
+	app.OnPoolChange(scheduler.StageInst{Stage: "segmentation"}, pool)
+	if rt.Stats.Seeded != 0 {
+		t.Fatalf("Seeded = %d on an all-cold pool, want 0", rt.Stats.Seeded)
+	}
+	snap := rt.Snapshot()
+	if snap[3].EWMALatency != 0 || snap[4].EWMALatency != 0 {
+		t.Fatal("all-cold pool got a fabricated EWMA")
+	}
+}

@@ -182,14 +182,72 @@ func (p *Placer) Place(wf *workflow.Workflow, opt Options) Placement {
 // PlaceSingle provisions one additional GPU instance on node n, on the
 // least-loaded GPU (used by the cluster autoscaler).
 func (p *Placer) PlaceSingle(n int) fabric.Location {
-	g := p.leastLoadedGPU(n, nil)
-	p.load[n][g]++
+	return p.PlaceSingleFit(n, 0, nil)
+}
+
+// PlaceSingleFit provisions one additional GPU instance, preferring the home
+// node: the least-loaded GPU there whose reported free memory covers need.
+// When no home GPU fits, other nodes are scanned in ascending-load order
+// (hierarchical control plane: local decision first, cross-node fallback
+// under saturation), and when no GPU anywhere fits it falls back to the home
+// node's least-loaded GPU — provisioning never fails outright, it just lands
+// on the least-bad device. A nil free func (or need <= 0) skips the memory
+// check entirely, reproducing PlaceSingle.
+func (p *Placer) PlaceSingleFit(home int, need int64, free func(fabric.Location) int64) fabric.Location {
+	pick := func(n int) (int, bool) {
+		best, ok := -1, false
+		for g := 0; g < p.cluster.Spec.NumGPUs; g++ {
+			if need > 0 && free != nil && free(fabric.Location{Node: n, GPU: g}) < need {
+				continue
+			}
+			if !ok || p.load[n][g] < p.load[n][best] {
+				best, ok = g, true
+			}
+		}
+		return best, ok
+	}
+	node, g, ok := home, -1, false
+	if g, ok = pick(home); !ok {
+		// Home node saturated: try the remaining nodes, least loaded first
+		// (lowest index on ties), so replicas spread instead of piling onto
+		// one overflow node.
+		order := make([]int, 0, len(p.load)-1)
+		for n := range p.load {
+			if n != home {
+				order = append(order, n)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool { return p.nodeLoad(order[a]) < p.nodeLoad(order[b]) })
+		for _, n := range order {
+			if g, ok = pick(n); ok {
+				node = n
+				break
+			}
+		}
+	}
+	if !ok {
+		node, g = home, p.leastLoadedGPU(home, nil)
+	}
+	p.load[node][g]++
 	if p.Trace != nil {
 		ev := p.Trace.InstantOn(obs.TrackSched, obs.CatPlace, "scale-up")
-		p.Trace.SetAttrInt(ev, "node", int64(n))
+		p.Trace.SetAttrInt(ev, "node", int64(node))
 		p.Trace.SetAttrInt(ev, "gpu", int64(g))
+		p.Trace.SetAttrInt(ev, "home", int64(home))
 	}
-	return fabric.Location{Node: n, GPU: g}
+	return fabric.Location{Node: node, GPU: g}
+}
+
+// Unplace releases one assigned instance's load share (the elastic pool
+// layer calls it when a drained replica is torn down, so the placer's
+// balancing state tracks the live fleet, not its high-water mark).
+func (p *Placer) Unplace(loc fabric.Location) {
+	if loc.IsHost() {
+		return
+	}
+	if p.load[loc.Node][loc.GPU] > 0 {
+		p.load[loc.Node][loc.GPU]--
+	}
 }
 
 // edge is one producer→consumer instance pair with its data volume.

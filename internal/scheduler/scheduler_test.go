@@ -3,6 +3,7 @@ package scheduler
 import (
 	"testing"
 
+	"grouter/internal/fabric"
 	"grouter/internal/topology"
 	"grouter/internal/workflow"
 )
@@ -134,5 +135,81 @@ func TestPinnedNode(t *testing.T) {
 		if loc.Node != 2 {
 			t.Errorf("instance %v on node %d, want pinned node 2", si, loc.Node)
 		}
+	}
+}
+
+func TestPlaceSingleFitPrefersHomeNode(t *testing.T) {
+	p := NewPlacer(topology.NewCluster(topology.DGXV100(), 2))
+	plenty := func(fabric.Location) int64 { return 1 << 40 }
+	seen := map[int]bool{}
+	for i := 0; i < topology.DGXV100().NumGPUs; i++ {
+		loc := p.PlaceSingleFit(0, 1<<20, plenty)
+		if loc.Node != 0 {
+			t.Fatalf("placement %d left home node with memory available: %+v", i, loc)
+		}
+		if seen[loc.GPU] {
+			t.Fatalf("GPU %d assigned twice while others are empty", loc.GPU)
+		}
+		seen[loc.GPU] = true
+	}
+}
+
+func TestPlaceSingleFitCrossNodeFallback(t *testing.T) {
+	p := NewPlacer(topology.NewCluster(topology.DGXV100(), 3))
+	// Home node 0 is memory-starved; node 2 is made busier than node 1, so
+	// the fallback must pick node 1 (least loaded first).
+	for g := 0; g < 4; g++ {
+		p.PlaceSingleFit(2, 0, nil)
+	}
+	free := func(l fabric.Location) int64 {
+		if l.Node == 0 {
+			return 1 << 20
+		}
+		return 1 << 40
+	}
+	loc := p.PlaceSingleFit(0, 1<<30, free)
+	if loc.Node != 1 {
+		t.Fatalf("saturated-home placement landed on node %d, want least-loaded fallback node 1", loc.Node)
+	}
+}
+
+func TestPlaceSingleFitNoFitFallsBackHome(t *testing.T) {
+	// No GPU anywhere fits: provisioning must still return a home-node GPU
+	// (the least-bad device) rather than fail.
+	p := NewPlacer(topology.NewCluster(topology.DGXV100(), 2))
+	none := func(fabric.Location) int64 { return 0 }
+	loc := p.PlaceSingleFit(1, 1<<30, none)
+	if loc.Node != 1 || loc.IsHost() {
+		t.Fatalf("no-fit fallback = %+v, want a home-node GPU", loc)
+	}
+}
+
+func TestPlaceSingleDelegatesToFit(t *testing.T) {
+	// PlaceSingle must keep its legacy behavior: identical pick sequence to
+	// the memory-blind PlaceSingleFit.
+	a := NewPlacer(topology.NewCluster(topology.DGXV100(), 1))
+	b := NewPlacer(topology.NewCluster(topology.DGXV100(), 1))
+	for i := 0; i < 12; i++ {
+		if got, want := a.PlaceSingle(0), b.PlaceSingleFit(0, 0, nil); got != want {
+			t.Fatalf("pick %d: PlaceSingle %+v != PlaceSingleFit %+v", i, got, want)
+		}
+	}
+}
+
+func TestUnplaceReleasesLoad(t *testing.T) {
+	p := NewPlacer(topology.NewCluster(topology.DGXV100(), 1))
+	first := p.PlaceSingle(0)
+	p.PlaceSingle(0)
+	p.Unplace(first)
+	// The released GPU is the least-loaded again and is reused next.
+	if got := p.PlaceSingle(0); got != first {
+		t.Fatalf("after Unplace, next placement = %+v, want reuse of %+v", got, first)
+	}
+	// Host unplace is a no-op; double-unplace must not go negative.
+	p.Unplace(fabric.Location{Node: 0, GPU: fabric.HostGPU})
+	p.Unplace(first)
+	p.Unplace(first)
+	if got := p.PlaceSingle(0); got != first {
+		t.Fatalf("negative load skewed placement: got %+v", got)
 	}
 }

@@ -1,17 +1,22 @@
 package grouter
 
-import "grouter/internal/router"
+import (
+	"grouter/internal/cluster"
+	"grouter/internal/router"
+)
 
 // simOptions collects NewSim's functional-option state.
 type simOptions struct {
-	nodes     int
-	seed      int64
-	trace     bool
-	faults    bool
-	coalesce  bool
-	shards    int
-	router    bool
-	routerCfg router.Config
+	nodes      int
+	seed       int64
+	trace      bool
+	faults     bool
+	coalesce   bool
+	shards     int
+	router     bool
+	routerCfg  router.Config
+	elastic    bool
+	elasticCfg cluster.ElasticConfig
 }
 
 func defaultSimOptions() simOptions { return simOptions{nodes: 1} }
@@ -63,6 +68,20 @@ func WithRouter(cfg ...RouterConfig) Option {
 		o.routerCfg = router.DefaultConfig()
 		if len(cfg) > 0 {
 			o.routerCfg = cfg[0]
+		}
+	}
+}
+
+// WithAutoscaler sets the default elastic-pool configuration Sim.Autoscale
+// attaches to apps: with no argument the reactive production defaults
+// (DefaultElasticConfig), or an explicit ElasticConfig. The pools themselves
+// attach per deployed app — call Sim.Autoscale(app) after Deploy.
+func WithAutoscaler(cfg ...ElasticConfig) Option {
+	return func(o *simOptions) {
+		o.elastic = true
+		o.elasticCfg = cluster.DefaultElastic()
+		if len(cfg) > 0 {
+			o.elasticCfg = cfg[0]
 		}
 	}
 }
