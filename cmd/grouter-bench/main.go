@@ -34,6 +34,8 @@ func main() {
 	routerRun := flag.Bool("router", false, "run the full-size routed-admission comparison (ext-router at -scale-requests) and exit")
 	routerStats := flag.Bool("router-stats", false, "replay the bursty pattern routed at -scale-requests with a 10% QoSHigh mix and print the router's decision counters")
 	elastic := flag.Bool("elastic", false, "run the full-size elastic-pool strategy comparison (ext-elastic at -scale-requests) and exit")
+	pd := flag.Bool("pd", false, "run the full-size prefill/decode disaggregation comparison (ext-pd at -scale-requests) and exit")
+	pdStats := flag.Bool("pd-stats", false, "replay the disaggregation-friendly h800 cell at -scale-requests and print the PD service and policy counters")
 	scale := flag.Bool("scale", false, "run the full-size scale replay (ext-scale at -scale-requests) and exit")
 	scaleRequests := flag.Int("scale-requests", 100_000, "request count for the largest -scale replays")
 	scaleShards := flag.Int("scale-shards", 0, "with -scale: replay the 8-pod scale-out fleet on this many engine shards instead of the single-cluster replay")
@@ -119,6 +121,24 @@ func main() {
 	if *elastic {
 		// Virtual-time table: byte-identical across runs of the same build.
 		fmt.Println(experiments.ElasticTable(*scaleRequests).Format())
+		return
+	}
+	if *pd {
+		// Virtual-time table: byte-identical across runs of the same build.
+		fmt.Println(experiments.PDTable(*scaleRequests).Format())
+		return
+	}
+	if *pdStats {
+		st, ps, rs := experiments.PDStatsRun(*scaleRequests)
+		fmt.Printf("pd replay (h800 x1, sporadic): %d requests, completed %d\n", st.Requests, st.Completed)
+		fmt.Printf("  virtual: dur=%v tput=%.1f req/s p50=%v p99=%v\n",
+			st.Duration.Round(time.Millisecond), st.Throughput, st.P50, st.P99)
+		fmt.Printf("  service: colocated=%d disaggregated=%d collapsed=%d overflows=%d\n",
+			ps.Colocated, ps.Disaggregated, ps.Collapsed, ps.Overflows)
+		fmt.Printf("  handoff: kv-transfers=%d kv-bytes=%.1f GiB recomputes=%d\n",
+			ps.KVTransfers, float64(ps.KVBytes)/float64(1<<30), ps.Recomputes)
+		fmt.Printf("  policy: decisions=%d long=%d short=%d overflows=%d affinity=%d\n",
+			rs.Decisions, rs.Long, rs.Short, rs.Overflows, rs.Affinity)
 		return
 	}
 	if *routerStats {

@@ -24,7 +24,9 @@ import (
 	"grouter/internal/core"
 	"grouter/internal/dataplane"
 	"grouter/internal/fabric"
+	"grouter/internal/models"
 	"grouter/internal/obs"
+	"grouter/internal/router"
 	"grouter/internal/scheduler"
 	"grouter/internal/sim"
 	"grouter/internal/topology"
@@ -49,6 +51,7 @@ type simConfig struct {
 	seed     int64
 	arrivals []time.Duration // non-nil overrides the generated trace
 	traceOut io.Writer       // non-nil enables span tracing and receives the export
+	pdModel  string          // -pd mode: the served LLM
 }
 
 func main() {
@@ -64,6 +67,8 @@ func main() {
 	dur := flag.Duration("dur", 20*time.Second, "trace duration (virtual)")
 	seed := flag.Int64("seed", 1, "random seed")
 	slots := flag.Int("gpu-slots", 1, "concurrent functions per GPU (spatial sharing)")
+	pd := flag.Bool("pd", false, "run LLM prefill/decode-disaggregated serving instead of a workflow (long prompts split across a PD pair, KV handoff over the data plane)")
+	pdModel := flag.String("pd-model", "llama-7b", "with -pd: served model (llama-7b, llama-13b, qwen-32b, llama-70b)")
 	traceFile := flag.String("trace-file", "", "read arrival offsets (one duration per line) instead of generating a trace")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
 	dot := flag.Bool("dot", false, "print the workflow DAG as Graphviz and exit")
@@ -113,7 +118,12 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := runSim(cfg, os.Stdout); err != nil {
+	runner := runSim
+	if *pd {
+		cfg.pdModel = *pdModel
+		runner = runPD
+	}
+	if err := runner(cfg, os.Stdout); err != nil {
 		fail("%v", err)
 	}
 	// Wall-clock is the one non-deterministic line; it stays out of runSim so
@@ -166,6 +176,91 @@ func runSim(cfg simConfig, w io.Writer) error {
 	st := c.Plane.Stats()
 	fmt.Fprintf(w, "data plane: %d puts, %d gets, %d copies, %.1f GiB moved, %d control ops\n",
 		st.Puts, st.Gets, st.Copies, float64(st.BytesMoved)/float64(1<<30), st.ControlOps)
+	return nil
+}
+
+// runPD executes the -pd mode: prefill/decode-disaggregated LLM serving on
+// the configured cluster, with every 8th request a long-prompt (4096-token,
+// session-tagged) request and the rest short interactive ones. Long prompts
+// split across a prefill/decode pair with the KV cache handed off over the
+// data plane; the report is deterministic byte for byte, like runSim's.
+func runPD(cfg simConfig, w io.Writer) error {
+	const (
+		longPrompt  = 4096
+		shortPrompt = 256
+		outTokens   = 8
+		longEvery   = 8
+	)
+	mk, ok := planes(cfg.seed)[cfg.system]
+	if !ok {
+		return fmt.Errorf("unknown system %q", cfg.system)
+	}
+	llm, err := models.LookupLLM(cfg.pdModel)
+	if err != nil {
+		return err
+	}
+	total := cfg.nodes * cfg.spec.NumGPUs
+	if total < 3 {
+		return fmt.Errorf("-pd needs at least 3 GPUs (1 prefill, 1 decode, 1 mixed), have %d", total)
+	}
+	engine := sim.NewEngine()
+	defer engine.Close()
+	var tracer *obs.Tracer
+	if cfg.traceOut != nil {
+		tracer = obs.Attach(engine)
+	}
+	c := cluster.NewSpatial(engine, cfg.spec, cfg.nodes, cfg.slots, mk)
+	svc, err := c.DeployLLM(cluster.PDConfig{
+		LLM:            llm,
+		PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: total - 2,
+		DefaultOutTokens: outTokens,
+	})
+	if err != nil {
+		return err
+	}
+	rt := router.NewPD(svc, router.DefaultPDPolicy())
+	arrivals := cfg.arrivals
+	traceDesc := fmt.Sprintf("file(%d arrivals)", len(arrivals))
+	if arrivals == nil {
+		arrivals = trace.Generate(trace.Spec{Pattern: cfg.pattern, Duration: cfg.dur, MeanRPS: cfg.rps, Seed: cfg.seed})
+		traceDesc = fmt.Sprintf("%s(%.1f rps, %v)", cfg.pattern, cfg.rps, cfg.dur)
+	}
+	if arrivals == nil {
+		arrivals = []time.Duration{}
+	}
+	st, err := svc.Replay(arrivals, cluster.ReplaySpec{RequestAt: func(i int) cluster.Request {
+		req := cluster.Request{PromptTokens: shortPrompt, OutTokens: outTokens}
+		if i%longEvery == 0 {
+			req.PromptTokens = longPrompt
+			req.Session = int64(i%16) + 1
+		}
+		return req
+	}})
+	if err != nil {
+		return err
+	}
+	if cfg.traceOut != nil {
+		if err := tracer.Export(cfg.traceOut); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
+
+	fmt.Fprintf(w, "pd-serving model=%s system=%s spec=%s nodes=%d pools=1/1/%d trace=%s\n",
+		llm.Name, cfg.system, cfg.spec.Name, cfg.nodes, total-2, traceDesc)
+	fmt.Fprintf(w, "mix: 1 in %d long (%d tokens, session-tagged), rest short (%d tokens), %d out\n",
+		longEvery, longPrompt, shortPrompt, outTokens)
+	fmt.Fprintf(w, "requests: %d completed\n", st.Completed)
+	fmt.Fprintf(w, "latency:  p50=%s p99=%s ttft-p99=%s kv-xfer-mean=%s\n",
+		mss(st.P50), mss(st.P99), mss(svc.TTFT.P(0.99)), mss(svc.KVXfer.Mean()))
+	fmt.Fprintf(w, "placement: colocated=%d disaggregated=%d collapsed=%d overflows=%d\n",
+		svc.Stats.Colocated, svc.Stats.Disaggregated, svc.Stats.Collapsed, svc.Stats.Overflows)
+	fmt.Fprintf(w, "handoff: kv-transfers=%d kv-moved=%.1f GiB recomputes=%d\n",
+		svc.Stats.KVTransfers, float64(svc.Stats.KVBytes)/float64(1<<30), svc.Stats.Recomputes)
+	fmt.Fprintf(w, "policy: decisions=%d long=%d short=%d affinity=%d\n",
+		rt.Stats.Decisions, rt.Stats.Long, rt.Stats.Short, rt.Stats.Affinity)
+	stp := c.Plane.Stats()
+	fmt.Fprintf(w, "data plane: %d puts, %d gets, %d copies, %.1f GiB moved, %d control ops\n",
+		stp.Puts, stp.Gets, stp.Copies, float64(stp.BytesMoved)/float64(1<<30), stp.ControlOps)
 	return nil
 }
 

@@ -1,0 +1,58 @@
+package grouter
+
+// Compatibility tests for the deprecated façade shims. Deliberate deprecated
+// calls live here (same package as the shims, so staticcheck's SA1019 does
+// not fire); the repo-root deprecation scan allowlists this file.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFacadeDeprecatedShims(t *testing.T) {
+	s, err := NewSimN("dgx-v100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Fabric.NumNodes() != 2 {
+		t.Errorf("NewSimN nodes = %d, want 2", s.Fabric.NumNodes())
+	}
+	s2 := MustNewSimN("dgx-v100", 1)
+	defer s2.Close()
+}
+
+// TestFacadeInvokeShimByteIdentical pins the old Invoke/InvokeQoS paths to
+// the typed Submit path through the façade: the same trace driven both ways
+// must produce identical completion counts and latency samples.
+func TestFacadeInvokeShimByteIdentical(t *testing.T) {
+	drive := func(submit func(app *App, i int)) (int, []time.Duration) {
+		s := MustNewSim("dgx-v100")
+		defer s.Close()
+		c := s.NewCluster(func(s *Sim) Plane { return s.NewGRouter() })
+		app := c.Deploy(TrafficWorkflow(), 0, PlaceOptions{Node: 0})
+		arrivals := GenerateTrace(TraceSpec{Pattern: Bursty, Duration: 2 * time.Second, MeanRPS: 20, Seed: 5})
+		for i, at := range arrivals {
+			i := i
+			s.Schedule(at, func() { submit(app, i) })
+		}
+		s.Run()
+		return app.Completed, app.E2E.Samples()
+	}
+	qosOf := func(i int) QoS {
+		if i%5 == 0 {
+			return QoSHigh
+		}
+		return QoSLow
+	}
+	oldN, oldS := drive(func(app *App, i int) { app.InvokeQoS(qosOf(i)) })
+	newN, newS := drive(func(app *App, i int) { app.Submit(NewRequest(ReqQoS(qosOf(i)))) })
+	if oldN != newN || !reflect.DeepEqual(oldS, newS) {
+		t.Errorf("façade shim diverged: old %d requests, new %d, samples equal=%v",
+			oldN, newN, reflect.DeepEqual(oldS, newS))
+	}
+	if oldN == 0 {
+		t.Fatal("no requests completed")
+	}
+}

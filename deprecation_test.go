@@ -1,0 +1,106 @@
+package grouter
+
+// Deprecation scan: new in-repo code must use the typed Request API, not the
+// deprecated shims. staticcheck's SA1019 cannot flag deprecated-symbol uses
+// inside the declaring package (where the shims and their byte-compat
+// oracles deliberately live), so this test enforces the boundary everywhere
+// else: any new call to a shim outside the allowlist fails CI.
+
+import (
+	"bufio"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// deprecatedCalls are the shim spellings the scan rejects. They are matched
+// as substrings of non-comment lines, so renaming a shim without updating
+// this list fails the façade compile first.
+var deprecatedCalls = []string{
+	"NewSimN(",     // use NewSim(spec, WithNodes(n))
+	"MustNewSimN(", // use MustNewSim(spec, WithNodes(n))
+	".InvokeQoS(",  // use Submit(NewRequest(ReqQoS(q)))
+	".Invoke()",    // use Submit(NewRequest())
+	"HighEvery:",   // use Replay with ReplaySpec.RequestAt
+}
+
+// allowlist holds the files that may keep spelling the deprecated paths: the
+// shim declarations themselves and their byte-compatibility oracles (which
+// live in the declaring packages precisely so SA1019 stays quiet), plus this
+// scan's own pattern table.
+var allowlist = map[string]bool{
+	"grouter.go":                      true, // NewSimN/MustNewSimN shims
+	"compat_test.go":                  true, // façade shim oracles
+	"deprecation_test.go":             true, // the pattern table above
+	"internal/cluster/cluster.go":     true, // Invoke/InvokeQoS shims
+	"internal/cluster/replay.go":      true, // ReplayOptions.HighEvery shim
+	"internal/cluster/compat_test.go": true, // cluster shim oracles
+}
+
+func TestNoNewDeprecatedCalls(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if allowlist[rel] {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			// Comment lines may mention the old names (deprecation notes,
+			// migration pointers); only code uses are rejected.
+			if strings.HasPrefix(strings.TrimSpace(text), "//") {
+				continue
+			}
+			for _, dep := range deprecatedCalls {
+				if strings.Contains(text, dep) {
+					t.Errorf("%s:%d: deprecated call %q (use the typed Request API; see allowlist in deprecation_test.go)",
+						rel, line, strings.TrimSuffix(dep, "("))
+				}
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllowlistCurrent keeps the allowlist honest: every entry must still
+// exist, so a moved or deleted shim file prompts a scan update.
+func TestAllowlistCurrent(t *testing.T) {
+	for rel := range allowlist {
+		if _, err := os.Stat(rel); err != nil {
+			t.Errorf("allowlist entry %s: %v", rel, err)
+		}
+	}
+}

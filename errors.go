@@ -1,6 +1,7 @@
 package grouter
 
 import (
+	"grouter/internal/cluster"
 	"grouter/internal/core"
 	"grouter/internal/dataplane"
 	"grouter/internal/router"
@@ -29,4 +30,15 @@ var (
 	// round-robin instead of surfacing it, so it is seen directly only by
 	// router.RouteRequest callers.
 	ErrNoWorker = router.ErrNoWorker
+	// ErrBadRequest: an invalid Request descriptor or DeployLLM
+	// configuration (negative field, out-of-range mode, wrong model).
+	ErrBadRequest = cluster.ErrBadRequest
+	// ErrNilTrace: Replay of a nil arrival trace (an empty non-nil trace is
+	// a valid no-op).
+	ErrNilTrace = cluster.ErrNilTrace
+	// ErrNegativeQuantum: a ReplaySpec or ReplayOptions admission quantum
+	// below zero.
+	ErrNegativeQuantum = cluster.ErrNegativeQuantum
+	// ErrNegativeHighEvery: a negative ReplayOptions.HighEvery mix.
+	ErrNegativeHighEvery = cluster.ErrNegativeHighEvery
 )

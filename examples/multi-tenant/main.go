@@ -24,11 +24,11 @@ func runPair(label string, cfg grouter.Config) (p99 time.Duration, hostXfer time
 	dur := 15 * time.Second
 	for _, at := range grouter.GenerateTrace(grouter.TraceSpec{Pattern: grouter.Bursty, Duration: dur, MeanRPS: 6, Seed: 5}) {
 		at := at
-		s.Schedule(at, func() { driving.Invoke() })
+		s.Schedule(at, func() { driving.Submit(grouter.Request{}) })
 	}
 	for _, at := range grouter.GenerateTrace(grouter.TraceSpec{Pattern: grouter.Bursty, Duration: dur, MeanRPS: 24, Seed: 6}) {
 		at := at
-		s.Schedule(at, func() { video.Invoke() })
+		s.Schedule(at, func() { video.Submit(grouter.Request{}) })
 	}
 	s.Run()
 	fmt.Printf("%-22s driving: %3d reqs  p99 %6.2f ms  gFn-host %5.2f ms  SLO met %3.0f%%   (video: %d reqs)\n",

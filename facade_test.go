@@ -36,19 +36,6 @@ func TestFacadeOptions(t *testing.T) {
 	}
 }
 
-func TestFacadeDeprecatedShims(t *testing.T) {
-	s, err := NewSimN("dgx-v100", 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	if s.Fabric.NumNodes() != 2 {
-		t.Errorf("NewSimN nodes = %d, want 2", s.Fabric.NumNodes())
-	}
-	s2 := MustNewSimN("dgx-v100", 1)
-	defer s2.Close()
-}
-
 // TestFacadeErrorSentinels drives each failure through the public API and
 // checks errors.Is against the exported sentinels.
 func TestFacadeErrorSentinels(t *testing.T) {
@@ -94,7 +81,7 @@ func TestFacadeCluster(t *testing.T) {
 	app := c.Deploy(TrafficWorkflow(), 0, PlaceOptions{Node: 0})
 	for _, at := range GenerateTrace(TraceSpec{Pattern: Bursty, Duration: 2 * time.Second, MeanRPS: 4, Seed: 9}) {
 		at := at
-		s.Schedule(at, func() { app.Invoke() })
+		s.Schedule(at, func() { app.Submit(NewRequest()) })
 	}
 	s.Run()
 	if app.Completed == 0 {
@@ -217,5 +204,72 @@ func TestFacadeReplayScaleOut(t *testing.T) {
 	}
 	if _, err := ReplayScaleOut("no-such-topo", arrivals, buildPod); err == nil {
 		t.Error("unknown topology should error")
+	}
+}
+
+// TestFacadePDServing drives the LLM prefill/decode surface entirely through
+// the façade: DeployLLM on a Runtime, WithPD supplying the policy
+// Sim.NewPDRouter inherits, typed requests built with NewRequest options,
+// and the re-exported ErrBadRequest sentinel.
+func TestFacadePDServing(t *testing.T) {
+	// SaturationDepth is high so the burst of simultaneous long submissions
+	// below disaggregates instead of overflowing to the mixed pool.
+	s := MustNewSim("h800x8", WithPD(PDPolicyConfig{LongPromptTokens: 512, SaturationDepth: 64}))
+	defer s.Close()
+	c := s.NewCluster(func(s *Sim) Plane { return s.NewGRouter() })
+	svc, err := c.DeployLLM(PDConfig{
+		LLM:            MustLookupLLM("llama-7b"),
+		PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := s.NewPDRouter(svc)
+	var sigs []*Signal
+	submit := func(opts ...RequestOption) {
+		done, err := svc.Submit(NewRequest(opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, done)
+	}
+	for i := 0; i < 8; i++ {
+		submit(ReqPrompt(256), ReqOutput(8))
+		submit(ReqPrompt(2048), ReqOutput(8), ReqSession(int64(i)+1))
+	}
+	s.Go("wait", func(p *Proc) {
+		for _, sig := range sigs {
+			sig.Wait(p)
+		}
+	})
+	s.Run()
+	if svc.Completed != 16 {
+		t.Fatalf("completed %d of 16", svc.Completed)
+	}
+	// The WithPD threshold (512) must be in effect: 2048-token prompts split.
+	if svc.Stats.Disaggregated != 8 || svc.Stats.KVTransfers != 8 {
+		t.Errorf("disaggregated=%d kv-transfers=%d, want 8/8 (WithPD threshold not applied?)",
+			svc.Stats.Disaggregated, svc.Stats.KVTransfers)
+	}
+	if rt.Stats.Long != 8 || rt.Stats.Short != 8 {
+		t.Errorf("router long/short = %d/%d, want 8/8", rt.Stats.Long, rt.Stats.Short)
+	}
+	if _, err := svc.Submit(NewRequest(ReqPrompt(-1))); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("invalid request error = %v, want ErrBadRequest", err)
+	}
+	if _, err := svc.Submit(NewRequest(ReqModel("no-such-model"))); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("wrong-model error = %v, want ErrBadRequest", err)
+	}
+	// An explicit argument overrides WithPD: threshold 4096 keeps the same
+	// 2048-token prompt colocated.
+	rt2 := s.NewPDRouter(svc, PDPolicyConfig{LongPromptTokens: 4096})
+	done, err := svc.Submit(NewRequest(ReqPrompt(2048)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Go("wait2", func(p *Proc) { done.Wait(p) })
+	s.Run()
+	if rt2.Stats.Long != 0 || rt2.Stats.Short != 1 {
+		t.Errorf("override policy long/short = %d/%d, want 0/1", rt2.Stats.Long, rt2.Stats.Short)
 	}
 }

@@ -67,6 +67,9 @@ type (
 	Config = core.Config
 	// Proc is a cooperative simulation process.
 	Proc = sim.Proc
+	// Signal is a one-shot completion notification; App.Submit and
+	// LLMService.Submit return one fired when the request finishes.
+	Signal = sim.Signal
 	// Runtime is the serverless cluster runtime (deploys workflow DAGs).
 	Runtime = cluster.Cluster
 	// App is one deployed workflow application on a Runtime.
@@ -133,9 +136,27 @@ type (
 	// PredictiveScaler sizes pools against a least-squares load forecast.
 	PredictiveScaler = autoscale.Predictive
 	// QoS is a request priority class (QoSHigh skips QoSLow in worker
-	// queues); set a replay's mix with ReplayOptions.HighEvery or invoke
-	// one request with App.InvokeQoS.
+	// queues); set it per request with ReqQoS, or per replayed arrival
+	// through ReplaySpec.RequestAt.
 	QoS = cluster.QoS
+	// LLMService is a deployed prefill/decode LLM serving app; build one
+	// with Runtime.DeployLLM and route it with Sim.NewPDRouter.
+	LLMService = cluster.LLMService
+	// PDConfig sizes a DeployLLM service: served model, prefill/decode/mixed
+	// worker partition, default request lengths, SLO scale.
+	PDConfig = cluster.PDConfig
+	// PDStats counts an LLMService's placement and KV-handoff activity.
+	PDStats = cluster.PDStats
+	// PDDecision is one PD routing decision (mode plus chosen workers).
+	PDDecision = cluster.PDDecision
+	// PDRouter is the prefill/decode routing policy attached to an
+	// LLMService by Sim.NewPDRouter.
+	PDRouter = router.PDRouter
+	// PDPolicyConfig tunes a PDRouter (long-prompt threshold, saturation
+	// depth, in-flight KV bound, session affinity).
+	PDPolicyConfig = router.PDPolicyConfig
+	// PDRouterStats counts a PDRouter's decisions, splits, and overflows.
+	PDRouterStats = router.PDRouterStats
 	// TraceSpec parameterizes synthetic arrival-trace generation.
 	TraceSpec = trace.Spec
 	// TracePattern selects the arrival process shape.
@@ -316,7 +337,12 @@ func (s *Sim) NewCluster(mkPlane func(s *Sim) Plane) *Runtime {
 //
 //	app := c.Deploy(grouter.DrivingWorkflow(), 0, grouter.PlaceOptions{Node: 0})
 //	rt := s.NewRouter(app)
-//	app.ReplayTrace(arrivals, grouter.ReplayOptions{HighEvery: 10})
+//	app.Replay(arrivals, grouter.ReplaySpec{RequestAt: func(i int) grouter.Request {
+//	    if (i+1)%10 == 0 {
+//	        return grouter.NewRequest(grouter.ReqQoS(grouter.QoSHigh))
+//	    }
+//	    return grouter.NewRequest()
+//	}})
 func (s *Sim) NewRouter(app *App, cfg ...RouterConfig) *Router {
 	c := router.DefaultConfig()
 	if s.opts.router {
@@ -330,6 +356,36 @@ func (s *Sim) NewRouter(app *App, cfg ...RouterConfig) *Router {
 		r.WatchFaults(s.injector)
 	}
 	return r
+}
+
+// DefaultPDPolicy returns the production prefill/decode routing policy:
+// split at 1024 prompt tokens, overflow above depth 4 or 8 in-flight KV
+// handoffs, session affinity on.
+func DefaultPDPolicy() PDPolicyConfig { return router.DefaultPDPolicy() }
+
+// NewPDRouter attaches a prefill/decode routing policy to a deployed LLM
+// service: long-prompt requests split across prefill/decode worker pairs
+// with the KV cache handed off over the data plane, short ones run
+// colocated, and saturated PD capacity overflows back to colocated
+// execution. The configuration comes from, in precedence order, the
+// explicit argument, WithPD's value, or DefaultPDPolicy:
+//
+//	svc, err := c.DeployLLM(grouter.PDConfig{
+//	    LLM:            grouter.MustLookupLLM("llama-7b"),
+//	    PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: 6,
+//	})
+//	rt := s.NewPDRouter(svc)
+//	done, err := svc.Submit(grouter.NewRequest(
+//	    grouter.ReqPrompt(8192), grouter.ReqSession(7)))
+func (s *Sim) NewPDRouter(svc *LLMService, cfg ...PDPolicyConfig) *PDRouter {
+	c := router.DefaultPDPolicy()
+	if s.opts.pd {
+		c = s.opts.pdCfg
+	}
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	return router.NewPD(svc, c)
 }
 
 // DefaultElasticConfig returns the reactive production elastic-pool
@@ -349,7 +405,7 @@ func DefaultElasticConfig() ElasticConfig { return cluster.DefaultElastic() }
 //	    Scaler: grouter.ReactiveScaler{ScaleOutDepth: 2, ScaleIn: true},
 //	    Min:    1, Max: 4, Prewarm: true,
 //	})
-//	app.ReplayTrace(arrivals, grouter.ReplayOptions{})
+//	app.Replay(arrivals, grouter.ReplaySpec{})
 //	fmt.Println(ep.GPUSeconds(), ep.Stats)
 func (s *Sim) Autoscale(app *App, cfg ...ElasticConfig) *Elastic {
 	c := cluster.DefaultElastic()

@@ -22,7 +22,7 @@ func TestAutoscaleScalesOutUnderOverload(t *testing.T) {
 		Pattern: trace.Sporadic, Duration: 5 * time.Second, MeanRPS: 80, Seed: 3,
 	}) {
 		at := at
-		e.Schedule(at, func() { app.Invoke() })
+		e.Schedule(at, func() { app.submit(Request{}) })
 	}
 	e.Run(0)
 	if app.ScaleEvents() == 0 {
@@ -45,7 +45,7 @@ func TestAutoscaleIdleAppStaysAtOne(t *testing.T) {
 	app.EnableAutoscale(DefaultAutoscale())
 	e.Go("driver", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			app.Invoke().Wait(p)
+			app.submit(Request{}).Wait(p)
 			p.Sleep(200 * time.Millisecond)
 		}
 	})
@@ -71,7 +71,7 @@ func TestAutoscaleImprovesThroughput(t *testing.T) {
 			Pattern: trace.Sporadic, Duration: 8 * time.Second, MeanRPS: 80, Seed: 3,
 		}) {
 			at := at
-			e.Schedule(at, func() { app.Invoke() })
+			e.Schedule(at, func() { app.submit(Request{}) })
 		}
 		e.Run(8 * time.Second) // fixed horizon: count completions inside it
 		return app.Completed
@@ -97,7 +97,7 @@ func TestAutoscaledColdInstances(t *testing.T) {
 		Pattern: trace.Sporadic, Duration: 5 * time.Second, MeanRPS: 80, Seed: 9,
 	}) {
 		at := at
-		e.Schedule(at, func() { app.Invoke() })
+		e.Schedule(at, func() { app.submit(Request{}) })
 	}
 	e.Run(0)
 	if app.ScaleEvents() == 0 {

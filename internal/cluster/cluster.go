@@ -231,7 +231,19 @@ type instIn struct {
 
 // Invoke starts one request now (at the app's deployed batch size) and
 // returns a signal fired at completion.
-func (a *App) Invoke() *sim.Signal { return a.InvokeBatch(a.Batch) }
+//
+// Deprecated: use Submit(Request{}) — the typed descriptor is the single
+// submission path and carries every per-request attribute. Invoke remains a
+// byte-compatible shim over it.
+func (a *App) Invoke() *sim.Signal { return a.submit(Request{}) }
+
+// submit is the unvalidated internal submission used by the deprecated
+// shims, which predate validation and cannot return an error.
+func (a *App) submit(req Request) *sim.Signal {
+	done := sim.NewSignal(a.C.Engine)
+	a.startReq(req, done)
+	return done
+}
 
 // InvokeBatch starts one request with an explicit batch size (used by the
 // adaptive batcher, which aggregates queued logical requests). The request
@@ -245,11 +257,10 @@ func (a *App) InvokeBatch(batch int) *sim.Signal {
 // InvokeQoS starts one request in the given priority class (at the app's
 // deployed batch size) and returns a signal fired at completion. QoSHigh
 // requests skip QoSLow ones in GPU compute-slot queues.
-func (a *App) InvokeQoS(q QoS) *sim.Signal {
-	done := sim.NewSignal(a.C.Engine)
-	a.startQoS(a.Batch, done, q)
-	return done
-}
+//
+// Deprecated: use Submit(Request{QoS: q}) — the typed descriptor is the
+// single submission path. InvokeQoS remains a byte-compatible shim over it.
+func (a *App) InvokeQoS(q QoS) *sim.Signal { return a.submit(Request{QoS: q}) }
 
 // inputsOf lists the producer instances feeding replica r of stage s.
 func (a *App) inputsOf(s *workflow.Stage, r int) []instIn {
@@ -331,7 +342,7 @@ func (a *App) MeasureThroughput(concurrency int, dur time.Duration) float64 {
 	for i := 0; i < concurrency; i++ {
 		e.Go(fmt.Sprintf("loop-%d", i), func(p *sim.Proc) {
 			for p.Now()-base < dur {
-				a.Invoke().Wait(p)
+				a.submit(Request{}).Wait(p)
 			}
 		})
 	}

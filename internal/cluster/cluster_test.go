@@ -25,7 +25,7 @@ func runOne(t *testing.T, mk func(*fabric.Fabric) dataplane.Plane, wf *workflow.
 	c := New(e, topology.DGXV100(), 1, mk)
 	app := c.Deploy(wf, 0, scheduler.Options{Node: -1})
 	e.Go("driver", func(p *sim.Proc) {
-		app.Invoke().Wait(p)
+		app.submit(Request{}).Wait(p)
 	})
 	e.Run(0)
 	return app
@@ -87,7 +87,7 @@ func TestConditionalStagesSometimesSkip(t *testing.T) {
 	app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: -1, Seed: 3})
 	e.Go("driver", func(p *sim.Proc) {
 		for i := 0; i < 20; i++ {
-			app.Invoke().Wait(p)
+			app.submit(Request{}).Wait(p)
 		}
 	})
 	e.Run(0)
@@ -149,7 +149,7 @@ func TestSLOComplianceUnderLoad(t *testing.T) {
 	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
 	e.Go("driver", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			app.Invoke().Wait(p)
+			app.submit(Request{}).Wait(p)
 		}
 	})
 	e.Run(0)
@@ -175,7 +175,7 @@ func TestCrossNodeDeploymentCompletes(t *testing.T) {
 	defer e.Close()
 	c := New(e, topology.DGXV100(), 2, grouterPlane)
 	app := c.Deploy(workflow.Traffic(), 0, scheduler.Options{Node: -1, SplitAcrossNodes: true})
-	e.Go("driver", func(p *sim.Proc) { app.Invoke().Wait(p) })
+	e.Go("driver", func(p *sim.Proc) { app.submit(Request{}).Wait(p) })
 	e.Run(0)
 	if app.Completed != 1 {
 		t.Fatalf("cross-node request did not complete")

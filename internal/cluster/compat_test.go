@@ -1,0 +1,223 @@
+package cluster
+
+// Differential oracles for the deprecated submission shims: every old entry
+// point (Invoke, InvokeQoS, ReplayTrace with HighEvery) must stay
+// byte-identical to the typed-Request path it now delegates to. The shims are
+// same-package here, so the deliberate deprecated calls below do not trip
+// staticcheck's SA1019; the repo-root deprecation scan allowlists this file.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"grouter/internal/scheduler"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+	"grouter/internal/trace"
+	"grouter/internal/workflow"
+)
+
+// shimResult captures everything observable about one driven app.
+type shimResult struct {
+	completed int
+	samples   []time.Duration
+	p50, p99  time.Duration
+}
+
+// driveApp deploys the driving workflow and admits one request per arrival
+// via submit (old or new path), waiting for the engine to drain.
+func driveApp(arrivals []time.Duration, submit func(a *App, i int)) shimResult {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+	for i, at := range arrivals {
+		i := i
+		e.Schedule(at, func() { submit(app, i) })
+	}
+	e.Run(0)
+	return shimResult{
+		completed: app.Completed,
+		samples:   app.E2E.Samples(),
+		p50:       app.E2E.P(0.5),
+		p99:       app.E2E.P(0.99),
+	}
+}
+
+func shimArrivals(n int) []time.Duration {
+	arrivals := make([]time.Duration, n)
+	for i := range arrivals {
+		arrivals[i] = time.Duration(i) * 3 * time.Millisecond
+	}
+	return arrivals
+}
+
+// TestInvokeShimByteIdentical: Invoke() ≡ Submit(Request{}).
+func TestInvokeShimByteIdentical(t *testing.T) {
+	arrivals := shimArrivals(200)
+	old := driveApp(arrivals, func(a *App, i int) { a.Invoke() })
+	new_ := driveApp(arrivals, func(a *App, i int) {
+		if _, err := a.Submit(Request{}); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+	})
+	if !reflect.DeepEqual(old, new_) {
+		t.Errorf("Invoke shim diverged from Submit:\nold %+v\nnew %+v", old, new_)
+	}
+	if old.completed != len(arrivals) {
+		t.Fatalf("completed %d of %d", old.completed, len(arrivals))
+	}
+}
+
+// TestInvokeQoSShimByteIdentical: InvokeQoS(q) ≡ Submit(Request{QoS: q}),
+// with a deterministic priority mix so both classes exercise the queues.
+func TestInvokeQoSShimByteIdentical(t *testing.T) {
+	arrivals := shimArrivals(200)
+	qosOf := func(i int) QoS {
+		if i%7 == 0 {
+			return QoSHigh
+		}
+		return QoSLow
+	}
+	old := driveApp(arrivals, func(a *App, i int) { a.InvokeQoS(qosOf(i)) })
+	new_ := driveApp(arrivals, func(a *App, i int) {
+		if _, err := a.Submit(Request{QoS: qosOf(i)}); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+	})
+	if !reflect.DeepEqual(old, new_) {
+		t.Errorf("InvokeQoS shim diverged from Submit:\nold %+v\nnew %+v", old, new_)
+	}
+}
+
+// replayApp replays one trace on a fresh app via run.
+func replayApp(run func(a *App) ReplayStats) (ReplayStats, []time.Duration) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+	st := run(app)
+	return st, app.E2E.Samples()
+}
+
+// TestReplayTraceShimByteIdentical: ReplayTrace{Quantum, HighEvery} ≡
+// Replay{Quantum, RequestAt} for both admission shapes (exact and batched).
+func TestReplayTraceShimByteIdentical(t *testing.T) {
+	arrivals := trace.Generate(trace.Spec{
+		Pattern: trace.Bursty, Duration: 2 * time.Second, MeanRPS: 150, Seed: 7,
+	})
+	for _, q := range []time.Duration{0, 10 * time.Millisecond} {
+		oldSt, oldSamples := replayApp(func(a *App) ReplayStats {
+			return a.ReplayTrace(arrivals, ReplayOptions{Quantum: q, HighEvery: 5})
+		})
+		newSt, newSamples := replayApp(func(a *App) ReplayStats {
+			st, err := a.Replay(arrivals, ReplaySpec{Quantum: q, RequestAt: func(i int) Request {
+				if (i+1)%5 == 0 {
+					return Request{QoS: QoSHigh}
+				}
+				return Request{}
+			}})
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			return st
+		})
+		if !reflect.DeepEqual(oldSt, newSt) {
+			t.Errorf("quantum %v: replay stats diverged:\nold %+v\nnew %+v", q, oldSt, newSt)
+		}
+		if !reflect.DeepEqual(oldSamples, newSamples) {
+			t.Errorf("quantum %v: per-request latency samples diverged", q)
+		}
+		if oldSt.Completed == 0 {
+			t.Fatalf("quantum %v: replay completed nothing", q)
+		}
+	}
+}
+
+// TestRequestValidation covers every Validate rejection plus the valid zero
+// value; Submit must surface the same sentinels.
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"negative batch", Request{Batch: -1}},
+		{"low QoS", Request{QoS: QoSLow - 1}},
+		{"high QoS", Request{QoS: QoSHigh + 1}},
+		{"negative prompt", Request{PromptTokens: -1}},
+		{"negative output", Request{OutTokens: -8}},
+		{"negative session", Request{Session: -3}},
+		{"low PD mode", Request{PD: PDAuto - 1}},
+		{"high PD mode", Request{PD: PDDisaggregated + 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.req.Validate(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: Validate = %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	if err := (Request{}).Validate(); err != nil {
+		t.Errorf("zero request: Validate = %v, want nil", err)
+	}
+
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+	if _, err := app.Submit(Request{Batch: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("Submit invalid = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestReplayValidation: each replay misuse maps to its typed sentinel — the
+// conditions the old ReplayTrace accepted silently.
+func TestReplayValidation(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	c := New(e, topology.DGXV100(), 1, grouterPlane)
+	app := c.Deploy(workflow.Driving(), 0, scheduler.Options{Node: -1})
+
+	if err := (ReplayOptions{HighEvery: -1}).Validate(); !errors.Is(err, ErrNegativeHighEvery) {
+		t.Errorf("HighEvery -1: Validate = %v, want ErrNegativeHighEvery", err)
+	}
+	if err := (ReplayOptions{Quantum: -time.Millisecond}).Validate(); !errors.Is(err, ErrNegativeQuantum) {
+		t.Errorf("Quantum -1ms: Validate = %v, want ErrNegativeQuantum", err)
+	}
+	if err := (ReplayOptions{}).Validate(); err != nil {
+		t.Errorf("zero options: Validate = %v, want nil", err)
+	}
+
+	if _, err := app.Replay(nil, ReplaySpec{}); !errors.Is(err, ErrNilTrace) {
+		t.Errorf("Replay nil trace = %v, want ErrNilTrace", err)
+	}
+	if _, err := app.Replay([]time.Duration{}, ReplaySpec{Quantum: -time.Second}); !errors.Is(err, ErrNegativeQuantum) {
+		t.Errorf("Replay negative quantum = %v, want ErrNegativeQuantum", err)
+	}
+	st, err := app.Replay([]time.Duration{}, ReplaySpec{})
+	if err != nil || st.Requests != 0 {
+		t.Errorf("empty trace: st=%+v err=%v, want valid no-op", st, err)
+	}
+
+	// ReplayTrace panics with the same sentinels (it cannot return an error).
+	mustPanic := func(name string, want error, f func()) {
+		defer func() {
+			r := recover()
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, want) {
+				t.Errorf("%s: panic = %v, want %v", name, r, want)
+			}
+		}()
+		f()
+	}
+	mustPanic("HighEvery", ErrNegativeHighEvery, func() {
+		app.ReplayTrace([]time.Duration{0}, ReplayOptions{HighEvery: -2})
+	})
+	mustPanic("Quantum", ErrNegativeQuantum, func() {
+		app.ReplayTrace([]time.Duration{0}, ReplayOptions{Quantum: -time.Second})
+	})
+	// A nil trace stays a compatible no-op on the untyped entry point.
+	if st := app.ReplayTrace(nil, ReplayOptions{}); st.Requests != 0 {
+		t.Errorf("ReplayTrace nil trace = %+v, want no-op", st)
+	}
+}

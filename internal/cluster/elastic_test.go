@@ -37,7 +37,7 @@ func recordCompletions(app *App) *[]completion {
 func burst(e *sim.Engine, app *App, spec trace.Spec) {
 	for _, at := range trace.Generate(spec) {
 		at := at
-		e.Schedule(at, func() { app.Invoke() })
+		e.Schedule(at, func() { app.submit(Request{}) })
 	}
 }
 

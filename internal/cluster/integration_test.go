@@ -26,7 +26,7 @@ func TestAllSpecsRunAllWorkflows(t *testing.T) {
 			app := c.Deploy(wf, 0, scheduler.Options{Node: 0})
 			e.Go("driver", func(p *sim.Proc) {
 				for i := 0; i < 3; i++ {
-					app.Invoke().Wait(p)
+					app.submit(Request{}).Wait(p)
 				}
 			})
 			e.Run(0)
@@ -116,7 +116,7 @@ func TestConcurrentAppsShareCluster(t *testing.T) {
 			Pattern: trace.Sporadic, Duration: 5 * time.Second, MeanRPS: 3, Seed: int64(i),
 		}) {
 			at := at
-			e.Schedule(at, func() { app.Invoke() })
+			e.Schedule(at, func() { app.submit(Request{}) })
 		}
 	}
 	e.Run(0)
@@ -135,8 +135,8 @@ func TestBatchOverride(t *testing.T) {
 	small := c.Deploy(workflow.Driving(), 1, scheduler.Options{Node: 0})
 	big := c.Deploy(workflow.Driving(), 32, scheduler.Options{Node: 0})
 	e.Go("driver", func(p *sim.Proc) {
-		small.Invoke().Wait(p)
-		big.Invoke().Wait(p)
+		small.submit(Request{}).Wait(p)
+		big.submit(Request{}).Wait(p)
 	})
 	e.Run(0)
 	if !(big.E2E.Mean() > small.E2E.Mean()) {

@@ -1,0 +1,30 @@
+package cluster
+
+// PDMode selects how one LLM request's prefill and decode phases are placed.
+type PDMode int
+
+const (
+	// PDAuto lets the routing policy pick per request (the zero value).
+	PDAuto PDMode = iota
+	// PDColocated runs both phases back to back on one GPU; no KV handoff.
+	PDColocated
+	// PDDisaggregated runs prefill and decode on the pools the routing
+	// decision names, shipping the prompt's KV cache between them over the
+	// data plane. When the decision lands both phases on the same GPU the
+	// executor collapses to the colocated path.
+	PDDisaggregated
+)
+
+// String names the mode for stats tables and span attributes.
+func (m PDMode) String() string {
+	switch m {
+	case PDAuto:
+		return "auto"
+	case PDColocated:
+		return "colocated"
+	case PDDisaggregated:
+		return "disaggregated"
+	default:
+		return "invalid"
+	}
+}

@@ -230,9 +230,20 @@ func (a *App) start(batch int, done *sim.Signal) { a.startQoS(batch, done, QoSLo
 // startQoS is start with an explicit priority class carried into every GPU
 // compute-slot acquisition of the request.
 func (a *App) startQoS(batch int, done *sim.Signal, qos QoS) {
+	a.startReq(Request{Batch: batch, QoS: qos}, done)
+}
+
+// startReq launches one request described by the typed descriptor — the
+// single entry point every submission path (Submit, the Invoke shims, trace
+// replays) funnels into. The descriptor is trusted here; Submit validates,
+// replays assume well-formed requests. done may be nil when no submitter
+// waits on completion.
+func (a *App) startReq(req Request, done *sim.Signal) {
+	batch := req.Batch
 	if batch <= 0 {
 		batch = a.Batch
 	}
+	qos := req.QoS
 	c := a.C
 	pl := a.plan()
 	c.seq++

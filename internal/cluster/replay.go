@@ -13,13 +13,42 @@ type ReplayOptions struct {
 	// window's closing edge by a single feeder process. Batched admission
 	// amortizes per-request control work — the engine pays one timer per
 	// window instead of one per arrival, and the autoscaler and placer see
-	// whole batches instead of reacting to each request. Zero (or negative)
-	// replays every arrival at its exact offset.
+	// whole batches instead of reacting to each request. Zero replays every
+	// arrival at its exact offset; negative is rejected by Validate.
 	Quantum time.Duration
 	// HighEvery admits every n-th request (1-indexed, in trace order) as
 	// QoSHigh, so a replay carries a deterministic priority mix; zero
 	// admits everything QoSLow, the pre-QoS behavior.
+	//
+	// Deprecated: use App.Replay with a ReplaySpec.RequestAt that returns
+	// Request{QoS: QoSHigh} for the mixed-in requests — the typed descriptor
+	// carries any per-request attribute, not just the priority class.
 	HighEvery int
+}
+
+// Validate reports out-of-range options as typed sentinels. ReplayTrace used
+// to accept them silently: a negative HighEvery quietly disabled the priority
+// mix and a negative Quantum quietly aliased exact admission.
+func (o ReplayOptions) Validate() error {
+	if o.HighEvery < 0 {
+		return ErrNegativeHighEvery
+	}
+	if o.Quantum < 0 {
+		return ErrNegativeQuantum
+	}
+	return nil
+}
+
+// ReplaySpec configures App.Replay, the typed-request trace replay.
+type ReplaySpec struct {
+	// Quantum batches arrivals into fixed admission windows exactly as
+	// ReplayOptions.Quantum does; zero replays each arrival at its offset.
+	Quantum time.Duration
+	// RequestAt returns the typed descriptor of the i-th admitted request
+	// (0-indexed, trace order). Nil admits the zero-value Request for every
+	// arrival. Descriptors are trusted — replays skip per-request Validate
+	// on the admission fast path.
+	RequestAt func(i int) Request
 }
 
 // ReplayStats summarizes one replayed trace in virtual time.
@@ -33,30 +62,21 @@ type ReplayStats struct {
 	P50, P99   time.Duration
 }
 
-// ReplayTrace submits every arrival (offsets relative to now, sorted
-// ascending) and runs the engine until it drains, returning summary stats.
-// With a positive Quantum, arrivals are admitted in batches at window
-// boundaries; admission order within a batch follows trace order, so the
-// replay stays deterministic. Percentiles cover every sample the app has
-// recorded, so call this on a freshly deployed app for per-replay numbers.
-func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplayStats {
-	e := a.C.Engine
-	base := e.Now()
-	before := a.Completed
-	qosOf := func(i int) QoS {
-		if opt.HighEvery > 0 && (i+1)%opt.HighEvery == 0 {
-			return QoSHigh
-		}
-		return QoSLow
-	}
-	if opt.Quantum <= 0 {
+// admitTrace schedules one admission callback per arrival (offsets relative
+// to base, sorted ascending). With quantum <= 0 every arrival is scheduled at
+// its exact offset; otherwise a single feeder process admits each fixed
+// window's arrivals together at the window's closing edge, in trace order.
+// Both shapes are shared verbatim by every replay entry point so they stay
+// byte-identical.
+func admitTrace(e *sim.Engine, base time.Duration, arrivals []time.Duration, quantum time.Duration, admit func(i int)) {
+	if quantum <= 0 {
 		e.Reserve(len(arrivals) + 64)
-		for i, at := range arrivals {
-			i, at := i, at
-			e.Schedule(at, func() { a.startQoS(a.Batch, nil, qosOf(i)) })
+		for i := range arrivals {
+			i := i
+			e.Schedule(arrivals[i], func() { admit(i) })
 		}
 	} else if len(arrivals) > 0 {
-		q := opt.Quantum
+		q := quantum
 		e.Go("replay-feeder", func(p *sim.Proc) {
 			i := 0
 			for i < len(arrivals) {
@@ -66,12 +86,40 @@ func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplaySta
 					p.Sleep(wait)
 				}
 				for i < len(arrivals) && arrivals[i] < win {
-					a.startQoS(a.Batch, nil, qosOf(i))
+					admit(i)
 					i++
 				}
 			}
 		})
 	}
+}
+
+// Replay submits every arrival (offsets relative to now, sorted ascending)
+// as the typed request spec.RequestAt describes and runs the engine until it
+// drains, returning summary stats. A nil trace and a negative quantum are
+// rejected with ErrNilTrace / ErrNegativeQuantum (an empty non-nil trace is
+// a valid no-op replay). Admission order within a quantum window follows
+// trace order, so the replay stays deterministic. Percentiles cover every
+// sample the app has recorded, so call this on a freshly deployed app for
+// per-replay numbers.
+func (a *App) Replay(arrivals []time.Duration, spec ReplaySpec) (ReplayStats, error) {
+	if arrivals == nil {
+		return ReplayStats{}, ErrNilTrace
+	}
+	if spec.Quantum < 0 {
+		return ReplayStats{}, ErrNegativeQuantum
+	}
+	e := a.C.Engine
+	base := e.Now()
+	before := a.Completed
+	reqAt := spec.RequestAt
+	admitTrace(e, base, arrivals, spec.Quantum, func(i int) {
+		var req Request
+		if reqAt != nil {
+			req = reqAt(i)
+		}
+		a.startReq(req, nil)
+	})
 	e.Run(0)
 	st := ReplayStats{
 		Requests:  len(arrivals),
@@ -82,6 +130,36 @@ func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplaySta
 	}
 	if st.Duration > 0 {
 		st.Throughput = float64(st.Completed) / st.Duration.Seconds()
+	}
+	return st, nil
+}
+
+// ReplayTrace is the untyped replay entry point, kept byte-compatible as a
+// thin shim over Replay. It panics on the option misuse Validate rejects —
+// conditions the old code accepted silently (negative HighEvery quietly
+// disabled the mix; negative Quantum aliased exact admission). A nil trace
+// stays a no-op here for compatibility; the validated Replay rejects it.
+// New code should call Replay, whose ReplaySpec carries any per-request
+// attribute.
+func (a *App) ReplayTrace(arrivals []time.Duration, opt ReplayOptions) ReplayStats {
+	if err := opt.Validate(); err != nil {
+		panic(err)
+	}
+	if arrivals == nil {
+		arrivals = []time.Duration{}
+	}
+	spec := ReplaySpec{Quantum: opt.Quantum}
+	if he := opt.HighEvery; he > 0 {
+		spec.RequestAt = func(i int) Request {
+			if (i+1)%he == 0 {
+				return Request{QoS: QoSHigh}
+			}
+			return Request{}
+		}
+	}
+	st, err := a.Replay(arrivals, spec)
+	if err != nil {
+		panic(err)
 	}
 	return st
 }

@@ -23,11 +23,11 @@ func runPair(mk planeMaker, wfA, wfB *workflow.Workflow, rpsA, rpsB float64, dur
 	appB := c.Deploy(wfB, 0, scheduler.Options{Node: 0})
 	for _, at := range burstyTrace(rpsA, dur, 71) {
 		at := at
-		e.Schedule(at, func() { appA.Invoke() })
+		e.Schedule(at, func() { appA.Submit(cluster.Request{}) })
 	}
 	for _, at := range burstyTrace(rpsB, dur, 72) {
 		at := at
-		e.Schedule(at, func() { appB.Invoke() })
+		e.Schedule(at, func() { appB.Submit(cluster.Request{}) })
 	}
 	e.Run(0)
 	return appA, appB

@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"ext-scale", "Extension: trace replay at scale with batched admission", ExtScale},
 		{"ext-scale-shard", "Extension: scale-out fleet replay on the sharded engine", ExtScaleShard},
 		{"ext-elastic", "Extension: elastic instance pools, GPU-seconds vs p99 per strategy", ExtElastic},
+		{"ext-pd", "Extension: prefill/decode disaggregation over the data plane", ExtPD},
 	}
 }
 

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestExtPDRegistered(t *testing.T) {
+	e := ByID("ext-pd")
+	if e == nil {
+		t.Fatal("ext-pd not registered")
+	}
+	if e.Run == nil {
+		t.Fatal("ext-pd has no runner")
+	}
+}
+
+// pdCell indexes one table row by its scenario/pattern/system key and
+// returns the parsed p99 in milliseconds.
+func pdCell(t *testing.T, tbl *Table, topo, pattern, system string) float64 {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] == topo && row[1] == pattern && row[2] == system {
+			v, err := strconv.ParseFloat(row[6], 64)
+			if err != nil {
+				t.Fatalf("bad p99 cell %q: %v", row[6], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no row for %s/%s/%s", topo, pattern, system)
+	return 0
+}
+
+// TestPDTableCrossover pins the experiment's headline claim: at least one
+// topology/pattern cell where disaggregation beats colocated serving on p99,
+// and at least one where the KV transfer cost (and pooling loss) makes
+// colocated win. The smoke size is large enough for stable percentiles.
+func TestPDTableCrossover(t *testing.T) {
+	tbl := PDTable(1200)
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (2 topologies x 2 patterns x 3 systems)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] == "0" {
+			t.Errorf("cell %s/%s/%s completed no requests", row[0], row[1], row[2])
+		}
+	}
+	pdWins, colocWins := 0, 0
+	for _, topo := range []string{"h800 x1", "quad-a10 x1"} {
+		for _, pattern := range []string{"sporadic", "bursty"} {
+			coloc := pdCell(t, tbl, topo, pattern, "colocated")
+			pd := pdCell(t, tbl, topo, pattern, "pd")
+			t.Logf("%s/%s: colocated p99 %.2fms, pd p99 %.2fms", topo, pattern, coloc, pd)
+			if pd < coloc {
+				pdWins++
+			}
+			if coloc < pd {
+				colocWins++
+			}
+		}
+	}
+	if pdWins == 0 {
+		t.Error("no cell where PD beats colocated on p99")
+	}
+	if colocWins == 0 {
+		t.Error("no cell where colocated beats PD on p99")
+	}
+}
+
+// TestPDTableDisaggregationActive guards against a policy regression that
+// would silently route everything colocated (the comparison would then be
+// vacuous): PD rows must disaggregate and ship KV on the cheap-handoff
+// topology.
+func TestPDTableDisaggregationActive(t *testing.T) {
+	tbl := PDTable(400)
+	for _, row := range tbl.Rows {
+		if row[2] == "colocated" {
+			if row[8] != "0" {
+				t.Errorf("%s/%s colocated row disaggregated %s requests", row[0], row[1], row[8])
+			}
+			continue
+		}
+		if row[0] == "h800 x1" && (row[8] == "0" || row[10] == "0") {
+			t.Errorf("%s/%s/%s: disagg=%s kv-xfer=%s, want both nonzero",
+				row[0], row[1], row[2], row[8], row[10])
+		}
+	}
+}
+
+// TestPDTableDeterminism: the whole comparison is byte-identical across
+// runs — virtual time only, fixed seeds.
+func TestPDTableDeterminism(t *testing.T) {
+	a := PDTable(400)
+	b := PDTable(400)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PDTable not deterministic across runs")
+	}
+}

@@ -37,7 +37,22 @@ func routedReplay(pattern trace.Pattern, requests int, routed bool, highEvery in
 	if routed {
 		rt = router.New(app, router.DefaultConfig())
 	}
-	st := app.ReplayTrace(arrivals, cluster.ReplayOptions{Quantum: ScaleQuantum, HighEvery: highEvery})
+	var reqAt func(int) cluster.Request
+	if highEvery > 0 {
+		reqAt = func(i int) cluster.Request {
+			if (i+1)%highEvery == 0 {
+				return cluster.Request{QoS: cluster.QoSHigh}
+			}
+			return cluster.Request{}
+		}
+	}
+	if arrivals == nil {
+		arrivals = []time.Duration{}
+	}
+	st, err := app.Replay(arrivals, cluster.ReplaySpec{Quantum: ScaleQuantum, RequestAt: reqAt})
+	if err != nil {
+		panic(err)
+	}
 	var rs router.Stats
 	if rt != nil {
 		rs = rt.Stats

@@ -55,7 +55,10 @@ func chaosReplay(t *testing.T) replayResult {
 	}
 	in.RandomLinkFaults(42, links, 2*time.Second, 400*time.Millisecond, 20*time.Millisecond)
 
-	st := app.ReplayTrace(arrivals, cluster.ReplayOptions{Quantum: 10 * time.Millisecond, HighEvery: 5})
+	st, err := app.Replay(arrivals, cluster.ReplaySpec{Quantum: 10 * time.Millisecond, RequestAt: highMix(5)})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
 	return replayResult{st: st, samples: app.E2E.Samples(), rs: rt.Stats}
 }
 

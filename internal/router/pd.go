@@ -1,0 +1,153 @@
+package router
+
+import (
+	"grouter/internal/cluster"
+	"grouter/internal/fabric"
+)
+
+// Prefill/decode routing policy. The PD router decides, per typed request,
+// whether the LLM service runs it colocated or disaggregated and on which
+// workers: long-prompt requests go to prefill/decode worker pairs (prefill
+// dominates their cost, and isolating it stops head-of-line blocking of
+// short interactive requests), short ones to the mixed pool, with overflow
+// fallback to colocated execution when PD capacity or the KV transfer path
+// is saturated. All signals are virtual-time deterministic, so routed runs
+// replay byte-identically.
+
+// PDPolicyConfig tunes a PD routing policy.
+type PDPolicyConfig struct {
+	// LongPromptTokens is the disaggregation threshold: a PDAuto request at
+	// or above it is split across a prefill/decode pair (default 1024).
+	LongPromptTokens int
+	// SaturationDepth is the per-worker load (queue + holds + pending picks)
+	// above which a pool counts as saturated: PDAuto requests overflow to
+	// colocated execution instead of queueing on a saturated pair, and a
+	// session-affine decode pick is abandoned for the least-loaded worker
+	// (default 4).
+	SaturationDepth int
+	// MaxInflightKV bounds concurrent KV handoffs on the data plane; at the
+	// bound PDAuto requests overflow to colocated execution (default 8).
+	MaxInflightKV int
+	// SessionAffinity pins a session's decode phases to one decode worker
+	// (session id mod pool) while that worker is below SaturationDepth, so a
+	// conversation's KV state stays put.
+	SessionAffinity bool
+}
+
+// DefaultPDPolicy returns the production PD policy: split at 1024 prompt
+// tokens, overflow above depth 4 or 8 in-flight handoffs, session affinity
+// on.
+func DefaultPDPolicy() PDPolicyConfig {
+	return PDPolicyConfig{
+		LongPromptTokens: 1024,
+		SaturationDepth:  4,
+		MaxInflightKV:    8,
+		SessionAffinity:  true,
+	}
+}
+
+// PDRouterStats counts PD routing activity; all counters are deterministic
+// in virtual time.
+type PDRouterStats struct {
+	// Decisions counts routed requests; Long/Short split the PDAuto ones by
+	// the prompt-length threshold.
+	Decisions int64
+	Long      int64
+	Short     int64
+	// Disaggregated/Colocated count decisions by returned mode.
+	Disaggregated int64
+	Colocated     int64
+	// Overflows counts PDAuto long-prompt requests downgraded to colocated
+	// because the PD pools or the transfer path were saturated.
+	Overflows int64
+	// Affinity counts decode picks pinned by session affinity.
+	Affinity int64
+}
+
+// PDRouter routes one LLM service's requests. Build with NewPD.
+type PDRouter struct {
+	svc *cluster.LLMService
+	cfg PDPolicyConfig
+
+	Stats PDRouterStats
+}
+
+// NewPD builds the PD routing policy and installs it as the service's Route
+// hook. One policy per service.
+func NewPD(svc *cluster.LLMService, cfg PDPolicyConfig) *PDRouter {
+	if cfg.LongPromptTokens <= 0 {
+		cfg.LongPromptTokens = 1024
+	}
+	if cfg.SaturationDepth <= 0 {
+		cfg.SaturationDepth = 4
+	}
+	if cfg.MaxInflightKV <= 0 {
+		cfg.MaxInflightKV = 8
+	}
+	r := &PDRouter{svc: svc, cfg: cfg}
+	svc.Route = r.Decide
+	return r
+}
+
+// leastLoaded picks the pool's lowest-load worker (lowest index on ties —
+// the deterministic tie-break) and returns it with its load.
+func (r *PDRouter) leastLoaded(pool []fabric.Location) (fabric.Location, int) {
+	best, bestLoad := pool[0], r.svc.Load(pool[0])
+	for _, loc := range pool[1:] {
+		if l := r.svc.Load(loc); l < bestLoad {
+			best, bestLoad = loc, l
+		}
+	}
+	return best, bestLoad
+}
+
+// colocatedPool is where colocated requests run: the mixed pool, or the
+// prefill pool on a PD-only service.
+func (r *PDRouter) colocatedPool() []fabric.Location {
+	if len(r.svc.MixedPool) > 0 {
+		return r.svc.MixedPool
+	}
+	return r.svc.PrefillPool
+}
+
+// Decide is the service's PDRouteFn. It runs in event context and reads only
+// virtual-time-deterministic load signals.
+func (r *PDRouter) Decide(req *cluster.Request, seq int64) cluster.PDDecision {
+	r.Stats.Decisions++
+	wantPD := req.PD == cluster.PDDisaggregated
+	if req.PD == cluster.PDAuto {
+		if req.PromptTokens >= r.cfg.LongPromptTokens {
+			r.Stats.Long++
+			wantPD = true
+		} else {
+			r.Stats.Short++
+		}
+	}
+	if wantPD && len(r.svc.PrefillPool) > 0 {
+		prefill, pLoad := r.leastLoaded(r.svc.PrefillPool)
+		decode, dLoad := r.leastLoaded(r.svc.DecodePool)
+		if r.cfg.SessionAffinity && req.Session > 0 {
+			pinned := r.svc.DecodePool[int(req.Session%int64(len(r.svc.DecodePool)))]
+			if r.svc.Load(pinned) <= r.cfg.SaturationDepth {
+				decode, dLoad = pinned, r.svc.Load(pinned)
+				r.Stats.Affinity++
+			}
+		}
+		// Overflow: an auto-split request does not queue on a saturated PD
+		// pair or a saturated transfer path when colocated capacity exists;
+		// an explicit PDDisaggregated request is honored regardless.
+		saturated := pLoad > r.cfg.SaturationDepth || dLoad > r.cfg.SaturationDepth ||
+			r.svc.InflightKV() >= r.cfg.MaxInflightKV
+		if req.PD == cluster.PDAuto && saturated && len(r.svc.MixedPool) > 0 {
+			r.Stats.Overflows++
+			r.Stats.Colocated++
+			loc, _ := r.leastLoaded(r.svc.MixedPool)
+			return cluster.PDDecision{Mode: cluster.PDColocated, Decode: loc, Overflow: true}
+		}
+		r.Stats.Disaggregated++
+		return cluster.PDDecision{Mode: cluster.PDDisaggregated, Prefill: prefill, Decode: decode}
+	}
+	r.Stats.Colocated++
+	loc, _ := r.leastLoaded(r.colocatedPool())
+	return cluster.PDDecision{Mode: cluster.PDColocated, Decode: loc}
+}

@@ -1,0 +1,294 @@
+package router_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"grouter/internal/cluster"
+	"grouter/internal/fabric"
+	"grouter/internal/models"
+	"grouter/internal/router"
+	"grouter/internal/sim"
+	"grouter/internal/topology"
+)
+
+// newPDService builds a one-node H800 cluster, deploys llama-7b with the
+// given pool partition, and installs the PD policy.
+func newPDService(t *testing.T, cfg cluster.PDConfig, pol router.PDPolicyConfig) (*sim.Engine, *cluster.LLMService, *router.PDRouter) {
+	t.Helper()
+	e := sim.NewEngine()
+	c := cluster.New(e, topology.H800x8(), 1, grouterPlane)
+	if cfg.LLM == nil {
+		cfg.LLM = models.MustLookupLLM("llama-7b")
+	}
+	svc, err := c.DeployLLM(cfg)
+	if err != nil {
+		t.Fatalf("DeployLLM: %v", err)
+	}
+	return e, svc, router.NewPD(svc, pol)
+}
+
+// recordDecisions wraps the installed policy to capture every decision.
+func recordDecisions(svc *cluster.LLMService) *[]cluster.PDDecision {
+	var out []cluster.PDDecision
+	orig := svc.Route
+	svc.Route = func(req *cluster.Request, seq int64) cluster.PDDecision {
+		d := orig(req, seq)
+		out = append(out, d)
+		return d
+	}
+	return &out
+}
+
+// TestPDPolicyLongShortSplit: PDAuto requests split on the prompt-length
+// threshold — long prompts to prefill/decode pairs, short to the mixed pool.
+func TestPDPolicyLongShortSplit(t *testing.T) {
+	e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 2, DecodeWorkers: 2, MixedWorkers: 2},
+		router.DefaultPDPolicy())
+	defer e.Close()
+	decs := recordDecisions(svc)
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			prompt := 256
+			if i%2 == 0 {
+				prompt = 2048
+			}
+			sig, err := svc.Submit(cluster.Request{PromptTokens: prompt, OutTokens: 4})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			sig.Wait(p)
+		}
+	})
+	e.Run(0)
+	if rt.Stats.Long != 6 || rt.Stats.Short != 6 {
+		t.Fatalf("long/short = %d/%d, want 6/6", rt.Stats.Long, rt.Stats.Short)
+	}
+	if rt.Stats.Disaggregated != 6 || rt.Stats.Colocated != 6 || rt.Stats.Overflows != 0 {
+		t.Fatalf("stats = %+v, want 6 disaggregated, 6 colocated, 0 overflow", rt.Stats)
+	}
+	mixed := map[fabric.Location]bool{}
+	for _, loc := range svc.MixedPool {
+		mixed[loc] = true
+	}
+	for i, d := range *decs {
+		if i%2 == 0 {
+			if d.Mode != cluster.PDDisaggregated {
+				t.Errorf("decision %d: long prompt mode %v, want disaggregated", i, d.Mode)
+			}
+		} else if d.Mode != cluster.PDColocated || !mixed[d.Decode] {
+			t.Errorf("decision %d: short prompt = %+v, want colocated on mixed pool", i, d)
+		}
+	}
+	if svc.Stats.Disaggregated != 6 || svc.Stats.Colocated != 6 {
+		t.Errorf("service executed %+v, want 6/6 split", svc.Stats)
+	}
+}
+
+// TestPDPolicyExplicitModes: explicit Request.PD overrides the prompt-length
+// heuristic in both directions.
+func TestPDPolicyExplicitModes(t *testing.T) {
+	e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: 1},
+		router.DefaultPDPolicy())
+	defer e.Close()
+	e.Go("driver", func(p *sim.Proc) {
+		long, _ := svc.Submit(cluster.Request{PD: cluster.PDColocated, PromptTokens: 4096, OutTokens: 4})
+		long.Wait(p)
+		short, _ := svc.Submit(cluster.Request{PD: cluster.PDDisaggregated, PromptTokens: 64, OutTokens: 4})
+		short.Wait(p)
+	})
+	e.Run(0)
+	if rt.Stats.Colocated != 1 || rt.Stats.Disaggregated != 1 {
+		t.Errorf("stats = %+v, want one of each mode", rt.Stats)
+	}
+	if rt.Stats.Long != 0 || rt.Stats.Short != 0 {
+		t.Errorf("explicit modes counted as auto: %+v", rt.Stats)
+	}
+	if svc.Stats.Colocated != 1 || svc.Stats.Disaggregated != 1 {
+		t.Errorf("service executed %+v, want one of each", svc.Stats)
+	}
+}
+
+// TestPDPolicyOverflow: a burst of long-prompt PDAuto requests saturates the
+// single prefill/decode pair and overflows to the mixed pool instead of
+// queueing.
+func TestPDPolicyOverflow(t *testing.T) {
+	e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: 2},
+		router.PDPolicyConfig{SaturationDepth: 2, MaxInflightKV: 1 << 30})
+	defer e.Close()
+	for i := 0; i < 12; i++ {
+		e.Schedule(0, func() {
+			if _, err := svc.Submit(cluster.Request{PromptTokens: 4096, OutTokens: 4}); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		})
+	}
+	e.Run(0)
+	if svc.Completed != 12 {
+		t.Fatalf("completed %d, want 12", svc.Completed)
+	}
+	if rt.Stats.Overflows == 0 {
+		t.Fatalf("no overflows under a 12-request burst on depth-2 pools: %+v", rt.Stats)
+	}
+	if rt.Stats.Disaggregated == 0 {
+		t.Fatalf("everything overflowed; want some disaggregated first: %+v", rt.Stats)
+	}
+	if svc.Stats.Overflows != rt.Stats.Overflows {
+		t.Errorf("service overflow count %d != router %d", svc.Stats.Overflows, rt.Stats.Overflows)
+	}
+}
+
+// TestPDPolicyInflightKVOverflow: with the transfer path capped at one
+// in-flight handoff, a long request arriving during another's KV handoff is
+// downgraded to colocated.
+func TestPDPolicyInflightKVOverflow(t *testing.T) {
+	e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: 1},
+		router.PDPolicyConfig{SaturationDepth: 1 << 30, MaxInflightKV: 1})
+	defer e.Close()
+	submit := func() {
+		if _, err := svc.Submit(cluster.Request{PromptTokens: 4096, OutTokens: 4}); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+	}
+	e.Schedule(0, submit)
+	// The first request's handoff is in flight from prefill completion until
+	// the decode-side Get finishes; admit the second inside that window.
+	e.Schedule(svc.Model.Prefill(4096)+time.Millisecond, submit)
+	e.Run(0)
+	if rt.Stats.Overflows != 1 {
+		t.Fatalf("overflows = %d, want 1 (second request hits MaxInflightKV): %+v", rt.Stats.Overflows, rt.Stats)
+	}
+	if svc.Completed != 2 || svc.Stats.KVTransfers != 1 {
+		t.Errorf("completed %d transfers %d, want 2/1", svc.Completed, svc.Stats.KVTransfers)
+	}
+}
+
+// TestPDPolicySessionAffinity: a session's decode picks pin to one decode
+// worker while it is unsaturated, and abandon the pin once it saturates.
+func TestPDPolicySessionAffinity(t *testing.T) {
+	e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 1, DecodeWorkers: 3, MixedWorkers: 1},
+		router.PDPolicyConfig{SessionAffinity: true, SaturationDepth: 4, MaxInflightKV: 1 << 30})
+	defer e.Close()
+	decs := recordDecisions(svc)
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			sig, _ := svc.Submit(cluster.Request{PD: cluster.PDDisaggregated, PromptTokens: 2048, OutTokens: 4, Session: 5})
+			sig.Wait(p)
+		}
+	})
+	e.Run(0)
+	pinned := svc.DecodePool[5%3]
+	if rt.Stats.Affinity != 5 {
+		t.Fatalf("affinity = %d, want 5", rt.Stats.Affinity)
+	}
+	for i, d := range *decs {
+		if d.Decode != pinned {
+			t.Errorf("decision %d decode = %v, want pinned %v", i, d.Decode, pinned)
+		}
+	}
+
+	// Saturate the pinned worker with a same-instant burst: pending picks
+	// push its load past the threshold, and later decisions spill to the
+	// least-loaded decode worker.
+	e2, svc2, rt2 := newPDService(t, cluster.PDConfig{PrefillWorkers: 1, DecodeWorkers: 3, MixedWorkers: 1},
+		router.PDPolicyConfig{SessionAffinity: true, SaturationDepth: 2, MaxInflightKV: 1 << 30})
+	defer e2.Close()
+	decs2 := recordDecisions(svc2)
+	for i := 0; i < 10; i++ {
+		e2.Schedule(0, func() {
+			if _, err := svc2.Submit(cluster.Request{PD: cluster.PDDisaggregated, PromptTokens: 2048, OutTokens: 4, Session: 5}); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		})
+	}
+	e2.Run(0)
+	if rt2.Stats.Affinity >= 10 {
+		t.Fatalf("affinity = %d, want < 10 (pin abandoned at saturation)", rt2.Stats.Affinity)
+	}
+	pinned2 := svc2.DecodePool[5%3]
+	spilled := false
+	for _, d := range *decs2 {
+		if d.Decode != pinned2 {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Error("no decode pick spilled off the saturated pinned worker")
+	}
+}
+
+// TestPDPolicyDefaultsAndColocatedOnlyService: a zero config fills the
+// production defaults (split at 1024), and a service with no PD pools routes
+// everything colocated.
+func TestPDPolicyDefaultsAndColocatedOnlyService(t *testing.T) {
+	e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 1, DecodeWorkers: 1, MixedWorkers: 1},
+		router.PDPolicyConfig{})
+	defer e.Close()
+	e.Go("driver", func(p *sim.Proc) {
+		a, _ := svc.Submit(cluster.Request{PromptTokens: 1024, OutTokens: 4})
+		a.Wait(p)
+		b, _ := svc.Submit(cluster.Request{PromptTokens: 1023, OutTokens: 4})
+		b.Wait(p)
+	})
+	e.Run(0)
+	if rt.Stats.Long != 1 || rt.Stats.Short != 1 {
+		t.Errorf("default threshold: long/short = %d/%d, want 1/1 at 1024", rt.Stats.Long, rt.Stats.Short)
+	}
+
+	e2, svc2, rt2 := newPDService(t, cluster.PDConfig{MixedWorkers: 4}, router.DefaultPDPolicy())
+	defer e2.Close()
+	e2.Go("driver", func(p *sim.Proc) {
+		sig, _ := svc2.Submit(cluster.Request{PromptTokens: 8192, OutTokens: 4})
+		sig.Wait(p)
+	})
+	e2.Run(0)
+	if rt2.Stats.Colocated != 1 || rt2.Stats.Disaggregated != 0 {
+		t.Errorf("colocated-only service stats = %+v, want 1 colocated", rt2.Stats)
+	}
+	if svc2.Stats.Colocated != 1 {
+		t.Errorf("service executed %+v, want 1 colocated", svc2.Stats)
+	}
+}
+
+// TestPDRoutedReplayDeterministic: the routed PD stack replays
+// byte-identically across two independent runs.
+func TestPDRoutedReplayDeterministic(t *testing.T) {
+	run := func() (cluster.ReplayStats, []time.Duration, router.PDRouterStats, cluster.PDStats) {
+		e, svc, rt := newPDService(t, cluster.PDConfig{PrefillWorkers: 2, DecodeWorkers: 3, MixedWorkers: 3},
+			router.DefaultPDPolicy())
+		defer e.Close()
+		arrivals := make([]time.Duration, 400)
+		for i := range arrivals {
+			arrivals[i] = time.Duration(i) * 700 * time.Microsecond
+		}
+		st, err := svc.Replay(arrivals, cluster.ReplaySpec{
+			Quantum: 5 * time.Millisecond,
+			RequestAt: func(i int) cluster.Request {
+				if i%4 == 0 {
+					return cluster.Request{PromptTokens: 4096, OutTokens: 8, Session: int64(i % 32)}
+				}
+				return cluster.Request{PromptTokens: 256, OutTokens: 8}
+			},
+		})
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		return st, svc.E2E.Samples(), rt.Stats, svc.Stats
+	}
+	stA, sA, rA, cA := run()
+	stB, sB, rB, cB := run()
+	if !reflect.DeepEqual(stA, stB) || !reflect.DeepEqual(rA, rB) || !reflect.DeepEqual(cA, cB) {
+		t.Errorf("routed PD replay diverged:\n%+v %+v %+v\n%+v %+v %+v", stA, rA, cA, stB, rB, cB)
+	}
+	if !reflect.DeepEqual(sA, sB) {
+		t.Error("per-request latency samples diverged")
+	}
+	if stA.Completed != 400 {
+		t.Fatalf("completed %d, want 400", stA.Completed)
+	}
+	if rA.Disaggregated == 0 || rA.Colocated == 0 {
+		t.Errorf("degenerate routing mix: %+v", rA)
+	}
+}

@@ -27,6 +27,21 @@ type replayResult struct {
 	rs      router.Stats
 }
 
+// highMix returns a ReplaySpec.RequestAt admitting every n-th request (in
+// trace order) QoSHigh — the typed-request replacement for the deprecated
+// ReplayOptions.HighEvery knob. n <= 0 means no mix (all QoSLow).
+func highMix(n int) func(int) cluster.Request {
+	if n <= 0 {
+		return nil
+	}
+	return func(i int) cluster.Request {
+		if (i+1)%n == 0 {
+			return cluster.Request{QoS: cluster.QoSHigh}
+		}
+		return cluster.Request{}
+	}
+}
+
 // replayOnce replays a generated trace through the driving workflow on a
 // 2-node cluster (autoscaler on, batched admission — the ext-router setup at
 // test scale). cfg nil means placement-only; otherwise the router is
@@ -53,7 +68,10 @@ func replayOnce(t *testing.T, pattern trace.Pattern, requests int, cfg *router.C
 			mutate(rt)
 		}
 	}
-	st := app.ReplayTrace(arrivals, cluster.ReplayOptions{Quantum: 10 * time.Millisecond, HighEvery: highEvery})
+	st, err := app.Replay(arrivals, cluster.ReplaySpec{Quantum: 10 * time.Millisecond, RequestAt: highMix(highEvery)})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
 	res := replayResult{st: st, samples: app.E2E.Samples()}
 	if rt != nil {
 		res.rs = rt.Stats

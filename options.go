@@ -17,6 +17,8 @@ type simOptions struct {
 	routerCfg  router.Config
 	elastic    bool
 	elasticCfg cluster.ElasticConfig
+	pd         bool
+	pdCfg      router.PDPolicyConfig
 }
 
 func defaultSimOptions() simOptions { return simOptions{nodes: 1} }
@@ -82,6 +84,21 @@ func WithAutoscaler(cfg ...ElasticConfig) Option {
 		o.elasticCfg = cluster.DefaultElastic()
 		if len(cfg) > 0 {
 			o.elasticCfg = cfg[0]
+		}
+	}
+}
+
+// WithPD sets the default prefill/decode routing policy Sim.NewPDRouter
+// attaches to LLM services: with no argument the production policy
+// (DefaultPDPolicy), or an explicit PDPolicyConfig. The policy itself
+// attaches per deployed service — call Sim.NewPDRouter(svc) after
+// Runtime.DeployLLM.
+func WithPD(cfg ...PDPolicyConfig) Option {
+	return func(o *simOptions) {
+		o.pd = true
+		o.pdCfg = router.DefaultPDPolicy()
+		if len(cfg) > 0 {
+			o.pdCfg = cfg[0]
 		}
 	}
 }
