@@ -34,6 +34,7 @@ func main() {
 	routerRun := flag.Bool("router", false, "run the full-size routed-admission comparison (ext-router at -scale-requests) and exit")
 	routerStats := flag.Bool("router-stats", false, "replay the bursty pattern routed at -scale-requests with a 10% QoSHigh mix and print the router's decision counters")
 	elastic := flag.Bool("elastic", false, "run the full-size elastic-pool strategy comparison (ext-elastic at -scale-requests) and exit")
+	slo := flag.Bool("slo", false, "run the full-size SLO-admission comparison (ext-slo at -scale-requests) and exit")
 	pd := flag.Bool("pd", false, "run the full-size prefill/decode disaggregation comparison (ext-pd at -scale-requests) and exit")
 	pdStats := flag.Bool("pd-stats", false, "replay the disaggregation-friendly h800 cell at -scale-requests and print the PD service and policy counters")
 	scale := flag.Bool("scale", false, "run the full-size scale replay (ext-scale at -scale-requests) and exit")
@@ -121,6 +122,11 @@ func main() {
 	if *elastic {
 		// Virtual-time table: byte-identical across runs of the same build.
 		fmt.Println(experiments.ElasticTable(*scaleRequests).Format())
+		return
+	}
+	if *slo {
+		// Virtual-time table: byte-identical across runs of the same build.
+		fmt.Println(experiments.SLOTable(*scaleRequests).Format())
 		return
 	}
 	if *pd {

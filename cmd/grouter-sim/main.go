@@ -51,6 +51,9 @@ type simConfig struct {
 	seed     int64
 	arrivals []time.Duration // non-nil overrides the generated trace
 	traceOut io.Writer       // non-nil enables span tracing and receives the export
+	sloHigh  time.Duration   // -slo-high: QoSHigh admission budget (0 = off)
+	sloLow   time.Duration   // -slo-low: QoSLow admission budget (0 = off)
+	sloDefer time.Duration   // -slo-defer: delay-queue bound before shedding
 	pdModel  string          // -pd mode: the served LLM
 }
 
@@ -67,6 +70,9 @@ func main() {
 	dur := flag.Duration("dur", 20*time.Second, "trace duration (virtual)")
 	seed := flag.Int64("seed", 1, "random seed")
 	slots := flag.Int("gpu-slots", 1, "concurrent functions per GPU (spatial sharing)")
+	sloHigh := flag.Duration("slo-high", 0, "QoSHigh latency budget: attach a scored router with SLO admission control (0 = off); every 10th request is admitted QoSHigh")
+	sloLow := flag.Duration("slo-low", 0, "QoSLow latency budget for SLO admission control (0 = no low-class budget)")
+	sloDefer := flag.Duration("slo-defer", 5*time.Millisecond, "max delay-queue wait before a predicted SLO miss is shed")
 	pd := flag.Bool("pd", false, "run LLM prefill/decode-disaggregated serving instead of a workflow (long prompts split across a PD pair, KV handoff over the data plane)")
 	pdModel := flag.String("pd-model", "llama-7b", "with -pd: served model (llama-7b, llama-13b, qwen-32b, llama-70b)")
 	traceFile := flag.String("trace-file", "", "read arrival offsets (one duration per line) instead of generating a trace")
@@ -100,6 +106,7 @@ func main() {
 		wf: wf, system: *system, spec: spec,
 		nodes: *nodes, slots: *slots, batch: *batch, split: *split,
 		pattern: pat, rps: *rps, dur: *dur, seed: *seed,
+		sloHigh: *sloHigh, sloLow: *sloLow, sloDefer: *sloDefer,
 	}
 	if *traceFile != "" {
 		arrivals, err := loadTrace(*traceFile)
@@ -152,7 +159,30 @@ func runSim(cfg simConfig, w io.Writer) error {
 		arrivals = trace.Generate(trace.Spec{Pattern: cfg.pattern, Duration: cfg.dur, MeanRPS: cfg.rps, Seed: cfg.seed})
 		traceDesc = fmt.Sprintf("%s(%.1f rps, %v)", cfg.pattern, cfg.rps, cfg.dur)
 	}
-	app.RunTrace(arrivals)
+	var rt *router.Router
+	if cfg.sloHigh > 0 || cfg.sloLow > 0 {
+		// SLO admission needs the scored router: its cached worker snapshot
+		// is what the completion predictor runs over.
+		rcfg := router.DefaultConfig()
+		rcfg.Seed = cfg.seed
+		rcfg.SLO = router.SLOConfig{
+			High: router.SLOClass{Budget: cfg.sloHigh, MaxDelay: cfg.sloDefer},
+			Low:  router.SLOClass{Budget: cfg.sloLow, MaxDelay: cfg.sloDefer},
+		}
+		rt = router.New(app, rcfg)
+		if _, err := app.Replay(arrivals, cluster.ReplaySpec{
+			RequestAt: func(i int) cluster.Request {
+				if (i+1)%10 == 0 {
+					return cluster.Request{QoS: cluster.QoSHigh}
+				}
+				return cluster.Request{}
+			},
+		}); err != nil {
+			return err
+		}
+	} else {
+		app.RunTrace(arrivals)
+	}
 	if cfg.traceOut != nil {
 		if err := tracer.Export(cfg.traceOut); err != nil {
 			return fmt.Errorf("trace export: %w", err)
@@ -173,6 +203,12 @@ func runSim(cfg simConfig, w io.Writer) error {
 	fmt.Fprintf(w, "breakdown: gFn-gFn=%s gFn-host=%s compute=%s passing-share=%.0f%%\n",
 		mss(app.XferGPU.Mean()), mss(app.XferHost.Mean()), mss(comp), share*100)
 	fmt.Fprintf(w, "slo: %s, compliance %.0f%%\n", mss(app.SLO), app.SLOCompliance()*100)
+	if rt != nil {
+		rs := rt.Stats
+		fmt.Fprintf(w, "admission: admits=%d defers=%d shed=%d (low=%d high=%d) attain-low=%.2f attain-high=%.2f\n",
+			rs.Admits, rs.Defers, rs.ShedLow+rs.ShedHigh, rs.ShedLow, rs.ShedHigh,
+			rt.Attainment(cluster.QoSLow), rt.Attainment(cluster.QoSHigh))
+	}
 	st := c.Plane.Stats()
 	fmt.Fprintf(w, "data plane: %d puts, %d gets, %d copies, %.1f GiB moved, %d control ops\n",
 		st.Puts, st.Gets, st.Copies, float64(st.BytesMoved)/float64(1<<30), st.ControlOps)

@@ -30,6 +30,12 @@ var (
 	// round-robin instead of surfacing it, so it is seen directly only by
 	// router.RouteRequest callers.
 	ErrNoWorker = router.ErrNoWorker
+	// ErrSLOShed: SLO admission control dropped the request — no worker was
+	// predicted to finish it inside its class latency budget and the
+	// deferral bound was spent. Returned by App.Submit on an immediate
+	// shed; deferred sheds instead fire the completion signal and count in
+	// RouterStats.ShedLow/ShedHigh.
+	ErrSLOShed = cluster.ErrSLOShed
 	// ErrBadRequest: an invalid Request descriptor or DeployLLM
 	// configuration (negative field, out-of-range mode, wrong model).
 	ErrBadRequest = cluster.ErrBadRequest

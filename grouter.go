@@ -107,10 +107,18 @@ type (
 	// RouterConfig tunes a Router (scoring weights, top-k, snapshot
 	// refresh, QoS aging, crash blacklist).
 	RouterConfig = router.Config
-	// RouterWeights are the router's multi-objective scoring coefficients.
+	// RouterWeights are the router's multi-objective scoring coefficients
+	// (Session weights the session-affinity bias).
 	RouterWeights = router.Weights
-	// RouterStats counts a Router's decisions, refreshes, and failovers.
+	// RouterStats counts a Router's decisions, refreshes, failovers,
+	// admission outcomes, and affinity hits.
 	RouterStats = router.Stats
+	// RouterSLOConfig is the router's per-class SLO admission configuration;
+	// set it on RouterConfig.SLO or Sim-wide with WithSLO.
+	RouterSLOConfig = router.SLOConfig
+	// RouterSLOClass is one QoS class's admission objective (latency budget
+	// plus the deferral bound).
+	RouterSLOClass = router.SLOClass
 	// WorkerState is one worker's entry in the router's metrics snapshot.
 	WorkerState = router.WorkerState
 	// Elastic manages per-stage elastic instance pools on a deployed app;
@@ -135,6 +143,9 @@ type (
 	TargetUtilScaler = autoscale.TargetUtilization
 	// PredictiveScaler sizes pools against a least-squares load forecast.
 	PredictiveScaler = autoscale.Predictive
+	// SLOAwareScaler scales on the router's predicted SLO miss rate
+	// (PoolMetrics.Attainment) instead of raw queue depth.
+	SLOAwareScaler = autoscale.SLOAware
 	// QoS is a request priority class (QoSHigh skips QoSLow in worker
 	// queues); set it per request with ReqQoS, or per replayed arrival
 	// through ReplaySpec.RequestAt.
@@ -331,9 +342,11 @@ func (s *Sim) NewCluster(mkPlane func(s *Sim) Plane) *Runtime {
 // NewRouter attaches a scored front-door router to a deployed app: stage
 // activations route to the best-scored healthy pool instance instead of
 // round-robin. The configuration comes from, in precedence order, the
-// explicit argument, WithRouter's value, or DefaultRouterConfig. When the
-// Sim carries a fault injector (WithFaults), the router subscribes to its
-// GPU crash signals and fails over away from crashed workers:
+// explicit argument, WithRouter's value, or DefaultRouterConfig; a WithSLO
+// admission configuration is folded in unless the resolved config already
+// enables one. When the Sim carries a fault injector (WithFaults), the
+// router subscribes to its GPU crash signals and fails over away from
+// crashed workers:
 //
 //	app := c.Deploy(grouter.DrivingWorkflow(), 0, grouter.PlaceOptions{Node: 0})
 //	rt := s.NewRouter(app)
@@ -350,6 +363,9 @@ func (s *Sim) NewRouter(app *App, cfg ...RouterConfig) *Router {
 	}
 	if len(cfg) > 0 {
 		c = cfg[0]
+	}
+	if s.opts.slo && !c.SLO.Enabled() {
+		c.SLO = s.opts.sloCfg
 	}
 	r := router.New(app, c)
 	if s.injector != nil {

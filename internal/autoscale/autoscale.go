@@ -37,6 +37,12 @@ type PoolMetrics struct {
 	// History holds the most recent Load samples, oldest first, the current
 	// observation last. The controller bounds its length (HistoryWindow).
 	History []float64
+	// Attainment is the front-door router's predicted SLO attainment in
+	// [0,1] — the minimum across QoS classes of the fraction of recent
+	// admission decisions predicted to meet their class budget. Negative
+	// means unknown (no SLO-aware router installed); strategies must treat
+	// that as "no signal", not as zero attainment.
+	Attainment float64
 }
 
 // Autoscaler decides a pool's desired active replica count. Desired may
@@ -92,6 +98,57 @@ func (r Reactive) Desired(m PoolMetrics) int {
 		return m.Active + m.Provisioning + 1
 	}
 	if r.ScaleIn && m.Queue == 0 && m.Busy == 0 && m.Provisioning == 0 {
+		return m.Active - 1
+	}
+	return m.Active + m.Provisioning
+}
+
+// SLOAware scales on the router's predicted SLO miss rate instead of raw
+// queue depth (Torpor-style): while predicted attainment sits below Target
+// the pool grows, one instance per observation, regardless of how shallow
+// the queues look — a shallow queue on a slow worker still misses budgets.
+// Without an attainment signal (PoolMetrics.Attainment < 0) it degrades to
+// the Reactive queue-depth trigger, so the strategy is safe to install on
+// pools whose app has no SLO-aware router. Scale-in follows Reactive's idle
+// rule, additionally gated on attainment meeting Target: capacity is never
+// shed while the predictor still sees misses.
+type SLOAware struct {
+	// Target is the attainment objective in (0,1] (default 0.95).
+	Target float64
+	// ScaleOutDepth is the fallback per-instance queue trigger used when no
+	// attainment signal flows (< 1 clamps to 2, Reactive's default trigger).
+	ScaleOutDepth int
+	// ScaleIn enables idle scale-in once attainment meets Target.
+	ScaleIn bool
+}
+
+func (s SLOAware) Name() string { return "slo-aware" }
+
+func (s SLOAware) target() float64 {
+	if s.Target <= 0 || s.Target > 1 || math.IsNaN(s.Target) {
+		return 0.95
+	}
+	return s.Target
+}
+
+func (s SLOAware) Desired(m PoolMetrics) int {
+	if m.Active < 1 {
+		return 1
+	}
+	known := m.Attainment >= 0 && !math.IsNaN(m.Attainment)
+	if known && m.Attainment < s.target() {
+		return m.Active + m.Provisioning + 1
+	}
+	if !known {
+		depth := s.ScaleOutDepth
+		if depth < 1 {
+			depth = 2
+		}
+		if m.Queue/m.Active >= depth {
+			return m.Active + m.Provisioning + 1
+		}
+	}
+	if s.ScaleIn && m.Queue == 0 && m.Busy == 0 && m.Provisioning == 0 {
 		return m.Active - 1
 	}
 	return m.Active + m.Provisioning

@@ -189,3 +189,82 @@ func TestSizeForNeverNegative(t *testing.T) {
 		t.Fatalf("zero load: %d", got)
 	}
 }
+
+func TestSLOAwareScalesOnMissRate(t *testing.T) {
+	s := SLOAware{Target: 0.95}
+	if s.Name() != "slo-aware" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	// Empty pool always orders the first instance.
+	if got := s.Desired(PoolMetrics{Attainment: 1}); got != 1 {
+		t.Fatalf("empty pool: desired = %d, want 1", got)
+	}
+	// Attainment below target grows the pool even with shallow queues — a
+	// shallow queue on a slow worker still misses budgets.
+	if got := s.Desired(PoolMetrics{Active: 2, Queue: 0, Attainment: 0.8}); got != 3 {
+		t.Fatalf("missing SLO: desired = %d, want 3", got)
+	}
+	// Provisioning capacity counts toward the new total.
+	if got := s.Desired(PoolMetrics{Active: 2, Provisioning: 1, Attainment: 0.5}); got != 4 {
+		t.Fatalf("missing SLO with provisioning: desired = %d, want 4", got)
+	}
+	// Attainment at or above target holds, deep queue or not: admission
+	// control is already shedding what the pool can't serve in budget.
+	if got := s.Desired(PoolMetrics{Active: 2, Queue: 50, Busy: 2, Attainment: 0.97}); got != 2 {
+		t.Fatalf("meeting SLO: desired = %d, want 2", got)
+	}
+}
+
+func TestSLOAwareUnknownFallsBackToReactive(t *testing.T) {
+	// Attainment < 0 means "no signal": degrade to the queue-depth trigger
+	// so the strategy is safe on pools without an SLO-aware router.
+	s := SLOAware{ScaleOutDepth: 2}
+	if got := s.Desired(PoolMetrics{Active: 2, Queue: 3, Attainment: -1}); got != 2 {
+		t.Fatalf("unknown below depth: desired = %d, want 2", got)
+	}
+	if got := s.Desired(PoolMetrics{Active: 2, Queue: 4, Attainment: -1}); got != 3 {
+		t.Fatalf("unknown at depth: desired = %d, want 3", got)
+	}
+	// Fallback depth clamps to Reactive's default trigger of 2.
+	if got := (SLOAware{}).Desired(PoolMetrics{Active: 1, Queue: 1, Attainment: -1}); got != 1 {
+		t.Fatalf("clamped depth 2, queue 1: desired = %d, want 1", got)
+	}
+	if got := (SLOAware{}).Desired(PoolMetrics{Active: 1, Queue: 2, Attainment: -1}); got != 2 {
+		t.Fatalf("clamped depth 2, queue 2: desired = %d, want 2", got)
+	}
+}
+
+func TestSLOAwareScaleIn(t *testing.T) {
+	s := SLOAware{Target: 0.9, ScaleIn: true}
+	// Idle and meeting target: release one instance.
+	if got := s.Desired(PoolMetrics{Active: 3, Attainment: 0.95}); got != 2 {
+		t.Fatalf("idle above target: desired = %d, want 2", got)
+	}
+	// Idle but missing target: never shed capacity while the predictor
+	// still sees misses.
+	if got := s.Desired(PoolMetrics{Active: 3, Attainment: 0.5}); got != 4 {
+		t.Fatalf("idle below target: desired = %d, want 4", got)
+	}
+	// ScaleIn off: idle pool holds.
+	if got := (SLOAware{}).Desired(PoolMetrics{Active: 3, Attainment: 1}); got != 3 {
+		t.Fatalf("idle, no scale-in: desired = %d, want 3", got)
+	}
+}
+
+func TestSLOAwareTargetDefaults(t *testing.T) {
+	for _, bad := range []float64{0, -1, 1.5, math.NaN()} {
+		s := SLOAware{Target: bad}
+		// Default 0.95: attainment 0.94 scales out, 0.96 holds.
+		if got := s.Desired(PoolMetrics{Active: 1, Attainment: 0.94}); got != 2 {
+			t.Fatalf("Target=%v, attain 0.94: desired = %d, want 2", bad, got)
+		}
+		if got := s.Desired(PoolMetrics{Active: 1, Busy: 1, Attainment: 0.96}); got != 1 {
+			t.Fatalf("Target=%v, attain 0.96: desired = %d, want 1", bad, got)
+		}
+	}
+	// NaN attainment is "unknown", not a miss.
+	s := SLOAware{ScaleOutDepth: 5}
+	if got := s.Desired(PoolMetrics{Active: 2, Queue: 1, Busy: 2, Attainment: math.NaN()}); got != 2 {
+		t.Fatalf("NaN attainment: desired = %d, want 2", got)
+	}
+}

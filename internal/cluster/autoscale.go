@@ -43,11 +43,24 @@ func (a *App) poolOf(si scheduler.StageInst) []fabric.Location {
 	return a.poolsMap()[si]
 }
 
-// instanceFor picks the pool member serving request seq: the Route hook when
-// one is installed (falling back on a declined pick), round-robin otherwise.
-// The second return is the pick's stable member id (the cold-start state
-// key); the caller must retire it with poolDone once the activation ends.
-func (a *App) instanceFor(si scheduler.StageInst, seq int64) (fabric.Location, int) {
+// ForEachPoolMember calls fn for every member of every current routable
+// pool. Iteration order is unspecified (map order); callers must fold the
+// visits order-independently — the router builds its admission worker mask
+// here, a pure membership set.
+func (a *App) ForEachPoolMember(fn func(si scheduler.StageInst, loc fabric.Location)) {
+	for si, pool := range a.poolsMap() {
+		for _, loc := range pool {
+			fn(si, loc)
+		}
+	}
+}
+
+// instanceFor picks the pool member serving one request's stage activation:
+// the Route hook when one is installed (falling back on a declined pick),
+// round-robin otherwise. The second return is the pick's stable member id
+// (the cold-start state key); the caller must retire it with poolDone once
+// the activation ends.
+func (a *App) instanceFor(si scheduler.StageInst, ri RouteInfo) (fabric.Location, int) {
 	pool := a.poolOf(si)
 	if len(pool) == 0 {
 		// Stage instances always have a base placement; an empty pool is a
@@ -55,14 +68,14 @@ func (a *App) instanceFor(si scheduler.StageInst, seq int64) (fabric.Location, i
 		panic("cluster: no instances for " + si.String())
 	}
 	if a.Route != nil {
-		if idx, ok := a.Route(si, seq, pool); ok && idx >= 0 && idx < len(pool) {
+		if idx, ok := a.Route(si, ri, pool); ok && idx >= 0 && idx < len(pool) {
 			return pool[idx], a.poolPicked(si, idx)
 		}
 	}
 	// Modulo in int64 before narrowing: int(seq) % len(pool) overflows on
 	// 32-bit ints past seq 2^31 and yields a negative index (panic). The
 	// clamp keeps the pick total for negative seq too.
-	idx := int(seq % int64(len(pool)))
+	idx := int(ri.Seq % int64(len(pool)))
 	if idx < 0 {
 		idx += len(pool)
 	}

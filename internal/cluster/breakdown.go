@@ -64,6 +64,9 @@ type instTrace struct {
 // request end — so the recorded bucket sum equals the end-to-end latency.
 func (b *Breakdown) record(st *reqState, last int, end time.Duration) {
 	rb := RequestBreakdown{Seq: st.seq, Start: st.start, End: end}
+	// Admission deferral precedes the launch: the chain below tiles
+	// [launch, end], and the delay-queue wait tiles [start, launch].
+	rb.Buckets[obs.CatDeferWait] = st.deferWait
 	cur := last
 	for {
 		it := &st.insts[cur]
@@ -77,10 +80,11 @@ func (b *Breakdown) record(st *reqState, last int, end time.Duration) {
 			rb.Buckets[obs.CatOther] += other
 		}
 		if !it.hasCrit {
-			// Source instance: any gap back to the request start (none in
+			// Source instance: any gap back to the request's launch (none in
 			// the current runtime, which starts sources immediately) is
-			// unattributed.
-			if gap := it.readyAt - st.start; gap > 0 {
+			// unattributed. The launch instant is the submission plus any
+			// admission deferral, already charged to CatDeferWait above.
+			if gap := it.readyAt - st.start - st.deferWait; gap > 0 {
 				rb.Buckets[obs.CatOther] += gap
 			}
 			break

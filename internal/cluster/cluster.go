@@ -38,12 +38,21 @@ const (
 	QoSHigh QoS = 1
 )
 
+// RouteInfo carries the per-request attributes a Route hook may consult:
+// the request sequence number plus the descriptor fields routing policies
+// key on (priority class, session identity).
+type RouteInfo struct {
+	Seq     int64
+	QoS     QoS
+	Session int64
+}
+
 // RouteFn picks the pool member serving one stage activation of one request:
 // it returns an index into pool and true, or false to fall back to the
 // default round-robin (seq mod pool size). The front-door router installs
 // its scored pick here; the hook runs in event context and must be
 // deterministic in virtual time.
-type RouteFn func(si scheduler.StageInst, seq int64, pool []fabric.Location) (int, bool)
+type RouteFn func(si scheduler.StageInst, req RouteInfo, pool []fabric.Location) (int, bool)
 
 // Cluster couples a fabric, a data plane, compute resources, and a placer.
 type Cluster struct {
@@ -153,9 +162,28 @@ type App struct {
 	XferGPU  metrics.Latency
 	XferHost metrics.Latency
 	Compute  metrics.Latency
+	// E2EClass records completion latencies split by QoS class (indexed by
+	// QoS), feeding per-class SLO attainment.
+	E2EClass [2]metrics.Latency
 
 	Completed int
-	seedBase  int64
+	// Shed counts requests dropped by SLO admission control; ShedByClass
+	// splits the count by QoS class. Every submitted request either
+	// completes or is shed — the counters account for every drop.
+	Shed        int
+	ShedByClass [2]int
+	seedBase    int64
+
+	// Admit, when non-nil, gates every request submission (the front-door
+	// router's SLO admission control installs itself here; see AdmitFn). Nil
+	// leaves the launch path byte-identical to the pre-admission runtime.
+	Admit AdmitFn
+
+	// SLOAttainment, when non-nil, reports the installing router's predicted
+	// per-class SLO attainment in [0,1] (QoSLow, QoSHigh order). The elastic
+	// pool controller folds its minimum into PoolMetrics.Attainment so
+	// SLO-aware autoscalers can scale on predicted miss rate.
+	SLOAttainment func() (low, high float64)
 
 	// OnComplete, when non-nil, observes every request completion (sequence
 	// number, completion instant, end-to-end latency) in event context.

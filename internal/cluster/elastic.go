@@ -237,6 +237,17 @@ func (ep *ElasticPools) observe(ps *poolState) autoscale.PoolMetrics {
 		}
 	}
 	m.Load = float64(m.Queue + m.Busy)
+	// Attainment is the router's predicted per-class SLO attainment; -1
+	// (unknown) without an installed SLO probe, so strategies can fall back
+	// to load signals instead of misreading "no signal" as "0% attained".
+	m.Attainment = -1
+	if ep.app.SLOAttainment != nil {
+		low, high := ep.app.SLOAttainment()
+		m.Attainment = low
+		if high < low {
+			m.Attainment = high
+		}
+	}
 	ps.hist = append(ps.hist, m.Load)
 	if n := len(ps.hist) - ep.cfg.HistoryWindow; n > 0 {
 		ps.hist = ps.hist[n:]

@@ -60,14 +60,14 @@ func TestInstanceForHugeSeq(t *testing.T) {
 		math.MaxInt64,
 		1 << 40,
 	} {
-		loc, id := app.instanceFor(si, seq)
+		loc, id := app.instanceFor(si, RouteInfo{Seq: seq})
 		want := int(seq % int64(len(pool)))
 		if id != want || loc != pool[want] {
 			t.Fatalf("seq %d: got (%v, %d), want (%v, %d)", seq, loc, id, pool[want], want)
 		}
 	}
 	// Negative seq (no caller sends one today) must still pick, not panic.
-	loc, id := app.instanceFor(si, -5)
+	loc, id := app.instanceFor(si, RouteInfo{Seq: -5})
 	if id < 0 || id >= len(pool) || loc != pool[id] {
 		t.Fatalf("negative seq: got (%v, %d)", loc, id)
 	}
@@ -183,7 +183,7 @@ func TestElasticDrainCordonSemantics(t *testing.T) {
 		t.Fatalf("pool size = %d after scale-out, want 2", len(app.poolOf(si)))
 	}
 	// Pick member id 1 (seq 1 → index 1) and leave it in flight.
-	_, id := app.instanceFor(si, 1)
+	_, id := app.instanceFor(si, RouteInfo{Seq: 1})
 	if id != 1 {
 		t.Fatalf("pick id = %d, want 1", id)
 	}
@@ -199,7 +199,7 @@ func TestElasticDrainCordonSemantics(t *testing.T) {
 	}
 	// Every new pick lands on the surviving member.
 	for seq := int64(2); seq < 8; seq++ {
-		if _, id := app.instanceFor(si, seq); id != 0 {
+		if _, id := app.instanceFor(si, RouteInfo{Seq: seq}); id != 0 {
 			t.Fatalf("seq %d picked drained member %d", seq, id)
 		}
 		app.poolDone(si, 0)

@@ -165,6 +165,9 @@ type reqState struct {
 	batch     int
 	qos       QoS
 	start     time.Duration
+	// deferWait is the request's cumulative admission-deferral time; the
+	// breakdown charges it to CatDeferWait so bucket sums still tile E2E.
+	deferWait time.Duration
 	remaining int
 	// done fires at request completion; nil when the submitter doesn't wait
 	// (trace replays), eliding the per-request signal.
@@ -219,6 +222,7 @@ func (a *App) releaseReqState(st *reqState) {
 	st.rng = nil
 	st.costs = nil
 	st.qos = QoSLow
+	st.deferWait = 0
 	st.xferGPU, st.xferHost, st.compute = 0, 0, 0
 	a.freeStates = append(a.freeStates, st)
 }
@@ -233,12 +237,27 @@ func (a *App) startQoS(batch int, done *sim.Signal, qos QoS) {
 	a.startReq(Request{Batch: batch, QoS: qos}, done)
 }
 
-// startReq launches one request described by the typed descriptor — the
+// startReq admits one request described by the typed descriptor — the
 // single entry point every submission path (Submit, the Invoke shims, trace
 // replays) funnels into. The descriptor is trusted here; Submit validates,
 // replays assume well-formed requests. done may be nil when no submitter
-// waits on completion.
-func (a *App) startReq(req Request, done *sim.Signal) {
+// waits on completion. With an Admit hook installed the request passes
+// through SLO admission control first; the return reports a synchronous
+// shed (Submit surfaces it as ErrSLOShed). Without a hook the request
+// launches immediately — the pre-admission fast path, byte-identical.
+func (a *App) startReq(req Request, done *sim.Signal) bool {
+	if a.Admit == nil {
+		a.launchReq(req, done, a.C.Engine.Now(), 0)
+		return false
+	}
+	return a.admitReq(req, done, a.C.Engine.Now(), 0)
+}
+
+// launchReq launches one admitted request. t0 is its submission instant and
+// waited its cumulative admission-deferral time (zero on the un-gated path);
+// the request's end-to-end latency spans t0 to completion, so deferral is
+// part of the measured latency and tiles the breakdown as CatDeferWait.
+func (a *App) launchReq(req Request, done *sim.Signal, t0, waited time.Duration) {
 	batch := req.Batch
 	if batch <= 0 {
 		batch = a.Batch
@@ -252,7 +271,8 @@ func (a *App) startReq(req Request, done *sim.Signal) {
 	st.seq = seq
 	st.batch = batch
 	st.qos = qos
-	st.start = c.Engine.Now()
+	st.start = t0
+	st.deferWait = waited
 	st.done = done
 	st.remaining = len(pl.insts)
 	st.costs = pl.costsFor(a, batch)
@@ -279,11 +299,12 @@ func (a *App) startReq(req Request, done *sim.Signal) {
 		}
 	}
 
+	ri := RouteInfo{Seq: seq, QoS: qos, Session: req.Session}
 	for i := range pl.insts {
 		pi := &pl.insts[i]
 		st.slots[i].refs = pi.refs
 		ac := &st.acts[i]
-		ac.loc, ac.poolIdx = a.instanceFor(pi.si, seq)
+		ac.loc, ac.poolIdx = a.instanceFor(pi.si, ri)
 		c.Engine.GoRun(pi.name, ac)
 	}
 }
@@ -441,6 +462,7 @@ func (ac *activation) Run(p *sim.Proc) {
 	if st.remaining == 0 {
 		end := p.Now()
 		a.E2E.Add(end - st.start)
+		a.E2EClass[qosIndex(st.qos)].Add(end - st.start)
 		a.XferGPU.Add(st.xferGPU)
 		a.XferHost.Add(st.xferHost)
 		a.Compute.Add(st.compute)

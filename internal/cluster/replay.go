@@ -55,6 +55,10 @@ type ReplaySpec struct {
 type ReplayStats struct {
 	Requests  int
 	Completed int
+	// Shed counts requests dropped by SLO admission control during the
+	// replay; Requests == Completed + Shed when admission control is the
+	// only drop source (and Shed is zero without it).
+	Shed int
 	// Duration spans replay start to engine drain.
 	Duration time.Duration
 	// Throughput is completed requests per second of virtual time.
@@ -112,6 +116,7 @@ func (a *App) Replay(arrivals []time.Duration, spec ReplaySpec) (ReplayStats, er
 	e := a.C.Engine
 	base := e.Now()
 	before := a.Completed
+	shedBefore := a.Shed
 	reqAt := spec.RequestAt
 	admitTrace(e, base, arrivals, spec.Quantum, func(i int) {
 		var req Request
@@ -124,6 +129,7 @@ func (a *App) Replay(arrivals []time.Duration, spec ReplaySpec) (ReplayStats, er
 	st := ReplayStats{
 		Requests:  len(arrivals),
 		Completed: a.Completed - before,
+		Shed:      a.Shed - shedBefore,
 		Duration:  e.Now() - base,
 		P50:       a.E2E.P(0.5),
 		P99:       a.E2E.P(0.99),

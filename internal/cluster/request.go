@@ -84,12 +84,17 @@ func (r Request) Validate() error {
 
 // Submit starts one request described by the typed descriptor and returns a
 // signal fired at completion. It is the single submission path; Invoke and
-// InvokeQoS are byte-compatible shims over it.
+// InvokeQoS are byte-compatible shims over it. When SLO admission control is
+// installed (see AdmitFn) and sheds the request synchronously, Submit
+// returns ErrSLOShed; a request shed after deferral instead fires its
+// completion signal and counts in App.Shed.
 func (a *App) Submit(req Request) (*sim.Signal, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	done := sim.NewSignal(a.C.Engine)
-	a.startReq(req, done)
+	if a.startReq(req, done) {
+		return nil, ErrSLOShed
+	}
 	return done, nil
 }

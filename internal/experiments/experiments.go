@@ -97,6 +97,7 @@ func All() []Experiment {
 		{"ext-scale-shard", "Extension: scale-out fleet replay on the sharded engine", ExtScaleShard},
 		{"ext-elastic", "Extension: elastic instance pools, GPU-seconds vs p99 per strategy", ExtElastic},
 		{"ext-pd", "Extension: prefill/decode disaggregation over the data plane", ExtPD},
+		{"ext-slo", "Extension: SLO-aware admission control and session affinity", ExtSLO},
 	}
 }
 

@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "fig5b", "fig6a", "fig7a", "tab1", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "fig20c",
 		"ext-coldstart", "ext-spatial", "ext-faults", "ext-fanout", "ext-router",
-		"ext-scale", "ext-scale-shard", "ext-elastic", "ext-pd"}
+		"ext-scale", "ext-scale-shard", "ext-elastic", "ext-pd", "ext-slo"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"grouter/internal/trace"
+)
+
+func TestExtSLORegistered(t *testing.T) {
+	e := ByID("ext-slo")
+	if e == nil {
+		t.Fatal("ext-slo not registered")
+	}
+	if e.Run == nil {
+		t.Fatal("ext-slo has no runner")
+	}
+}
+
+// TestSLOBurstyAcceptance pins the experiment's headline claim on the bursty
+// pattern: SLO-aware admission must improve high-class attainment at
+// equal-or-better goodput versus the baseline scored router. Shedding during
+// burst peaks trades hopeless completions for in-budget ones, so both sides
+// of the trade are asserted.
+func TestSLOBurstyAcceptance(t *testing.T) {
+	base := sloReplay(trace.Bursty, 5000, sloBaseline)
+	admit := sloReplay(trace.Bursty, 5000, sloAdmit)
+	t.Logf("baseline: hi-attain %.3f goodput %.1f hi-p99 %v", base.hiAtt, base.goodput, base.hiP99)
+	t.Logf("slo:      hi-attain %.3f goodput %.1f hi-p99 %v shed %d", admit.hiAtt, admit.goodput, admit.hiP99, admit.st.Shed)
+	if admit.st.Shed == 0 {
+		t.Error("SLO admission shed nothing under the bursty pattern")
+	}
+	if admit.hiAtt <= base.hiAtt {
+		t.Errorf("hi-attain did not improve: %.3f (slo) vs %.3f (baseline)", admit.hiAtt, base.hiAtt)
+	}
+	if admit.goodput < base.goodput {
+		t.Errorf("goodput regressed: %.1f (slo) vs %.1f (baseline)", admit.goodput, base.goodput)
+	}
+	if admit.st.Requests != admit.st.Completed+admit.st.Shed {
+		t.Errorf("accounting gap: %d requests != %d completed + %d shed",
+			admit.st.Requests, admit.st.Completed, admit.st.Shed)
+	}
+}
+
+// TestSLOAffinityActive: the affinity mode must actually land scored picks on
+// pinned workers (a zero hit count would make the third column vacuous).
+func TestSLOAffinityActive(t *testing.T) {
+	r := sloReplay(trace.Sporadic, 2000, sloAffinity)
+	if r.rs.AffinityHits == 0 {
+		t.Error("slo+affinity mode recorded no affinity hits")
+	}
+}
+
+// TestSLOTableDeterminism: the whole comparison is byte-identical across
+// runs — virtual time only, fixed seeds.
+func TestSLOTableDeterminism(t *testing.T) {
+	a := SLOTable(2000)
+	b := SLOTable(2000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SLOTable not deterministic across runs")
+	}
+}

@@ -41,7 +41,8 @@ func SpanStatsTable() *Table {
 		ID:    "span-stats",
 		Title: "Per-request critical-path latency breakdown (traffic on grouter)",
 		Columns: []string{"req", "e2e(ms)", "setup", "queue", "transfer",
-			"retry", "migrate", "compute", "other", "sum(ms)"},
+			"retry", "migrate", "compute", "defer-wait", "shed", "other",
+			"sum(ms)"},
 	}
 	var maxErr time.Duration
 	for _, rb := range bd.Requests {

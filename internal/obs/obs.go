@@ -41,6 +41,12 @@ const (
 	CatMigrate
 	// CatCompute is GPU kernel execution.
 	CatCompute
+	// CatDeferWait is time a request spent parked in the admission
+	// controller's delay queue before launching.
+	CatDeferWait
+	// CatShed is the lifetime of a request dropped by SLO admission control
+	// (submission to shed); a shed request has no other buckets.
+	CatShed
 	// CatOther absorbs request time not attributed to any bucket above.
 	CatOther
 
@@ -64,6 +70,7 @@ const (
 var catNames = [...]string{
 	CatSetup: "setup", CatQueue: "queue", CatTransfer: "transfer",
 	CatRetry: "retry", CatMigrate: "migrate", CatCompute: "compute",
+	CatDeferWait: "defer-wait", CatShed: "shed",
 	CatOther: "other", NumBuckets: "invalid", CatRequest: "request",
 	CatOp: "op", CatFlow: "flow", CatStore: "store", CatPlace: "place",
 	CatCounter: "counter",

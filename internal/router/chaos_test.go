@@ -20,7 +20,7 @@ import (
 // crashes GPUs and flaps links, with the router failing over on the
 // injector's crash signals. Everything — the schedule, the crashes, the
 // weighted-random picks — is derived from fixed seeds in virtual time.
-func chaosReplay(t *testing.T) replayResult {
+func chaosReplay(t *testing.T, mutate func(*router.Config)) replayResult {
 	t.Helper()
 	metrics.Faults().Reset()
 	arrivals := trace.Generate(trace.Spec{
@@ -33,6 +33,9 @@ func chaosReplay(t *testing.T) replayResult {
 	app.EnableAutoscale(cluster.DefaultAutoscale())
 	cfg := router.DefaultConfig()
 	cfg.RecoverAfter = 200 * time.Millisecond
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	rt := router.New(app, cfg)
 
 	in := faults.NewInjector(e, c.Fabric.Net)
@@ -55,7 +58,18 @@ func chaosReplay(t *testing.T) replayResult {
 	}
 	in.RandomLinkFaults(42, links, 2*time.Second, 400*time.Millisecond, 20*time.Millisecond)
 
-	st, err := app.Replay(arrivals, cluster.ReplaySpec{Quantum: 10 * time.Millisecond, RequestAt: highMix(5)})
+	// Sessioned QoS mix: inert under the default config (affinity weight 0)
+	// but lets SLO variants pin sessions and lose pins to the crashes.
+	st, err := app.Replay(arrivals, cluster.ReplaySpec{
+		Quantum: 10 * time.Millisecond,
+		RequestAt: func(i int) cluster.Request {
+			req := cluster.Request{Session: int64(i%32) + 1}
+			if (i+1)%5 == 0 {
+				req.QoS = cluster.QoSHigh
+			}
+			return req
+		},
+	})
 	if err != nil {
 		t.Fatalf("Replay: %v", err)
 	}
@@ -67,8 +81,8 @@ func chaosReplay(t *testing.T) replayResult {
 // routing — must replay byte-identically across two independent runs, and
 // the faults must actually have fired.
 func TestChaosRoutingDeterministic(t *testing.T) {
-	a := chaosReplay(t)
-	b := chaosReplay(t)
+	a := chaosReplay(t, nil)
+	b := chaosReplay(t, nil)
 	if !reflect.DeepEqual(a.st, b.st) {
 		t.Errorf("chaos replay stats diverged:\n%+v\n%+v", a.st, b.st)
 	}
@@ -86,5 +100,50 @@ func TestChaosRoutingDeterministic(t *testing.T) {
 	}
 	if a.st.Completed != a.st.Requests {
 		t.Errorf("chaos run completed %d of %d requests", a.st.Completed, a.st.Requests)
+	}
+}
+
+// TestChaosSheddingDeterministic layers SLO admission and session affinity on
+// top of the full chaos stack: crashes invalidate affinity pins and shrink
+// the capacity the predictor sees, so the shed/defer decisions themselves
+// depend on the fault schedule — and must still replay byte-identically.
+func TestChaosSheddingDeterministic(t *testing.T) {
+	slo := func(cfg *router.Config) {
+		cfg.SLO = router.SLOConfig{
+			High: router.SLOClass{Budget: 25 * time.Millisecond, MaxDelay: 4 * time.Millisecond},
+			Low:  router.SLOClass{Budget: 150 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		}
+		cfg.Weights.Session = 2
+	}
+	a := chaosReplay(t, slo)
+	b := chaosReplay(t, slo)
+	if !reflect.DeepEqual(a.st, b.st) {
+		t.Errorf("chaos+SLO replay stats diverged:\n%+v\n%+v", a.st, b.st)
+	}
+	if !reflect.DeepEqual(a.samples, b.samples) {
+		t.Error("chaos+SLO latency samples diverged across identical runs")
+	}
+	if !reflect.DeepEqual(a.rs, b.rs) {
+		t.Errorf("chaos+SLO router stats diverged:\n%+v\n%+v", a.rs, b.rs)
+	}
+	if a.rs.Crashes != 2 {
+		t.Errorf("router saw %d crash signals, want 2", a.rs.Crashes)
+	}
+	if a.st.Shed == 0 {
+		t.Error("no sheds under chaos burst despite SLO admission")
+	}
+	if a.st.Completed+a.st.Shed != a.st.Requests {
+		t.Errorf("accounting gap: %d completed + %d shed != %d requests",
+			a.st.Completed, a.st.Shed, a.st.Requests)
+	}
+	if a.rs.ShedLow+a.rs.ShedHigh != int64(a.st.Shed) {
+		t.Errorf("per-class shed counters %d+%d don't cover %d total sheds",
+			a.rs.ShedLow, a.rs.ShedHigh, a.st.Shed)
+	}
+	if a.rs.AffinityHits == 0 {
+		t.Error("no affinity hits despite sessioned traffic and Session weight")
+	}
+	if a.rs.AffinityInvalidations == 0 {
+		t.Error("crashes and decay never invalidated a session pin")
 	}
 }

@@ -33,6 +33,15 @@ type Config struct {
 	RecoverAfter time.Duration
 	// EWMAAlpha smooths the per-worker service-latency EWMA (default 0.2).
 	EWMAAlpha float64
+	// SLO configures per-class admission control; the zero value disables
+	// it (no AdmitFn is installed — the launch path stays byte-identical to
+	// the admission-free router).
+	SLO SLOConfig
+	// AffinityTTL is the staleness horizon of session-affinity pins: a
+	// pin's bias decays linearly from 1 to 0 over the TTL and the pin is
+	// dropped once fully decayed (default 500ms). Used only with a positive
+	// Weights.Session.
+	AffinityTTL time.Duration
 }
 
 // DefaultConfig returns the scored production configuration: queue depth
@@ -76,6 +85,21 @@ type Stats struct {
 	// arrival (see poolChanged).
 	PoolChanges int64
 	Seeded      int64
+	// Admission-control counters (all zero without an SLO configuration).
+	// Admits counts attempts that launched, Defers delay-queue parks, and
+	// ShedLow/ShedHigh dropped requests per QoS class — together they
+	// account for every admission decision: no request is dropped without
+	// a shed counter recording it.
+	Admits   int64
+	Defers   int64
+	ShedLow  int64
+	ShedHigh int64
+	// AffinityHits counts scored picks that landed on the session's pinned
+	// worker; AffinityInvalidations counts pins dropped because their
+	// worker crashed, was cordoned out of the stage's pool, or fully
+	// decayed.
+	AffinityHits          int64
+	AffinityInvalidations int64
 }
 
 // Router scores a cluster's GPUs and routes one app's stage activations.
@@ -101,10 +125,78 @@ type Router struct {
 	snap   []WorkerState
 	snapAt time.Duration
 	fresh  bool
-	// cstates is the per-pick candidate scratch buffer.
+	// cstates is the per-pick candidate scratch buffer; astates the
+	// per-admission effective-snapshot scratch buffer.
 	cstates []WorkerState
+	astates []WorkerState
+
+	// sessions holds per-(session, stage) affinity pins; nil until the
+	// first pinned pick (sessionless traffic allocates nothing).
+	sessions map[sessionKey]sessionPin
+
+	// poolStages holds, per current routable stage pool, the snapshot
+	// indices of its GPU workers — the per-stage worker sets admission
+	// predicts over (the global snapshot also covers GPUs the app cannot
+	// route to, whose idleness must not veto a shed; and one pool's idle
+	// workers must not hide another pool's queue). Rebuilt lazily after
+	// every pool change. agroups is the matching per-admission scratch.
+	poolStages      [][]int
+	poolStagesValid bool
+	agroups         [][]WorkerState
+
+	// attain holds the per-class predicted-attainment rings feeding the
+	// autoscaler (QoSLow, QoSHigh order).
+	attain [2]attainRing
 
 	Stats Stats
+}
+
+// sessionKey identifies one session's pin for one stage instance: requests
+// traverse every stage, so affinity is per (session, stage) — one shared pin
+// would thrash across the workflow's pools.
+type sessionKey struct {
+	sid int64
+	si  scheduler.StageInst
+}
+
+// sessionPin records where a session's state last landed and when.
+type sessionPin struct {
+	w  int
+	at time.Duration
+}
+
+// attainRing is a fixed-window ring of admission outcomes: true samples were
+// predicted to meet their class budget. Its mean is the predicted SLO
+// attainment fed back to the autoscaler; an empty ring reads 1 (no evidence
+// of misses).
+type attainRing struct {
+	meets []bool
+	idx   int
+	n     int
+	hits  int
+}
+
+func (r *attainRing) push(meet bool) {
+	if len(r.meets) == 0 {
+		return
+	}
+	if r.n < len(r.meets) {
+		r.n++
+	} else if r.meets[r.idx] {
+		r.hits--
+	}
+	r.meets[r.idx] = meet
+	if meet {
+		r.hits++
+	}
+	r.idx = (r.idx + 1) % len(r.meets)
+}
+
+func (r *attainRing) value() float64 {
+	if r.n == 0 {
+		return 1
+	}
+	return float64(r.hits) / float64(r.n)
 }
 
 // New builds a router over the app's cluster and installs it as the app's
@@ -117,6 +209,12 @@ func New(app *cluster.App, cfg Config) *Router {
 	}
 	if cfg.RecoverAfter <= 0 {
 		cfg.RecoverAfter = 500 * time.Millisecond
+	}
+	if cfg.AffinityTTL <= 0 {
+		cfg.AffinityTTL = 500 * time.Millisecond
+	}
+	if cfg.SLO.Window <= 0 {
+		cfg.SLO.Window = 64
 	}
 	c := app.C
 	n := c.Fabric.NumNodes() * c.Spec().NumGPUs
@@ -140,7 +238,107 @@ func New(app *cluster.App, cfg Config) *Router {
 	}
 	app.Route = r.route
 	app.OnPoolChange = r.poolChanged
+	if cfg.SLO.Enabled() {
+		r.attain[0] = attainRing{meets: make([]bool, cfg.SLO.Window)}
+		r.attain[1] = attainRing{meets: make([]bool, cfg.SLO.Window)}
+		app.Admit = r.admit
+		app.SLOAttainment = r.attainment
+	}
 	return r
+}
+
+// Attainment returns the router's predicted SLO attainment for one QoS
+// class: the fraction of the last SLO.Window admission attempts of that
+// class predicted to meet their budget (1 with no samples, or without an
+// SLO configuration).
+func (r *Router) Attainment(q cluster.QoS) float64 {
+	if q == cluster.QoSHigh {
+		return r.attain[1].value()
+	}
+	return r.attain[0].value()
+}
+
+// attainment is the App.SLOAttainment hook feeding PoolMetrics.
+func (r *Router) attainment() (low, high float64) {
+	return r.attain[0].value(), r.attain[1].value()
+}
+
+// admit is the App.Admit hook: it folds the pending-pick discount into the
+// cached snapshot, groups it by the stage pools the app actually routes to,
+// and delegates the decision to the pure AdmitPipeline. Classes without a
+// budget bypass the predictor and record no attainment sample.
+func (r *Router) admit(req cluster.Request, waited time.Duration) (cluster.AdmitAction, time.Duration) {
+	if r.cfg.SLO.Class(req.QoS).Budget <= 0 {
+		return cluster.AdmitRun, 0
+	}
+	snap := r.Snapshot()
+	stages := r.stageGroups()
+	total := 0
+	for _, g := range stages {
+		total += len(g)
+	}
+	if total == 0 {
+		// No routable GPU pool (host-only workflow): nothing to predict
+		// over, so admission cannot justify a drop.
+		return cluster.AdmitRun, 0
+	}
+	// Pre-size the flat scratch so the per-stage subslices below never span
+	// a reallocation.
+	if cap(r.astates) < total {
+		r.astates = make([]WorkerState, 0, total)
+	}
+	r.astates = r.astates[:0]
+	r.agroups = r.agroups[:0]
+	for _, g := range stages {
+		start := len(r.astates)
+		for _, i := range g {
+			ws := snap[i]
+			ws.QueueDepth += r.pending[i]
+			r.astates = append(r.astates, ws)
+		}
+		r.agroups = append(r.agroups, r.astates[start:len(r.astates)])
+	}
+	action, delay := AdmitPipeline(r.agroups, r.cfg.SLO, req.QoS, waited)
+	ci := 0
+	if req.QoS == cluster.QoSHigh {
+		ci = 1
+	}
+	r.attain[ci].push(action == cluster.AdmitRun)
+	switch action {
+	case cluster.AdmitDefer:
+		r.Stats.Defers++
+	case cluster.AdmitShed:
+		if ci == 1 {
+			r.Stats.ShedHigh++
+		} else {
+			r.Stats.ShedLow++
+		}
+	default:
+		r.Stats.Admits++
+	}
+	return action, delay
+}
+
+// stageGroups returns (rebuilding lazily after pool changes) the snapshot
+// indices of every current routable stage pool's GPU workers. Group order
+// follows map iteration and is not deterministic, but every consumer folds
+// the groups commutatively (a saturating sum of non-negative per-stage
+// estimates, an all-stages-idle conjunction), so admission decisions are.
+func (r *Router) stageGroups() [][]int {
+	if !r.poolStagesValid {
+		groups := make(map[scheduler.StageInst][]int)
+		r.app.ForEachPoolMember(func(si scheduler.StageInst, loc fabric.Location) {
+			if !loc.IsHost() {
+				groups[si] = append(groups[si], r.widx(loc.Node, loc.GPU))
+			}
+		})
+		r.poolStages = r.poolStages[:0]
+		for _, g := range groups {
+			r.poolStages = append(r.poolStages, g)
+		}
+		r.poolStagesValid = true
+	}
+	return r.poolStages
 }
 
 // Config returns the router's (defaulted) configuration.
@@ -163,11 +361,20 @@ func (r *Router) onService(node, gpu int, held time.Duration) {
 }
 
 // MarkDown blacklists a worker until RecoverAfter elapses (the fault
-// injector's crash signal lands here via WatchFaults).
+// injector's crash signal lands here via WatchFaults). Session pins on the
+// crashed worker are invalidated: its KV/replica state is gone, so steering
+// the session back to it after recovery would be affinity to nothing.
 func (r *Router) MarkDown(node, gpu int) {
-	r.downUntil[r.widx(node, gpu)] = r.c.Engine.Now() + r.cfg.RecoverAfter
+	w := r.widx(node, gpu)
+	r.downUntil[w] = r.c.Engine.Now() + r.cfg.RecoverAfter
 	// Health must be visible to the next pick even inside a refresh window.
 	r.fresh = false
+	for k, pin := range r.sessions {
+		if pin.w == w {
+			delete(r.sessions, k)
+			r.Stats.AffinityInvalidations++
+		}
+	}
 }
 
 // WatchFaults subscribes the router to the injector's GPU crash signals, so
@@ -187,18 +394,26 @@ func (r *Router) WatchFaults(in *faults.Injector) {
 // scale-out at the cold replica.
 func (r *Router) poolChanged(si scheduler.StageInst, pool []fabric.Location) {
 	r.Stats.PoolChanges++
+	// The announcement must invalidate caches even for a host pool: the old
+	// code returned from inside the seeding loop on the first host location,
+	// leaving the snapshot marked fresh — a pick inside the refresh window
+	// could then race the stale EWMA/membership view against the change.
+	r.fresh = false
+	r.poolStagesValid = false
+	host := false
 	var sum time.Duration
 	n := 0
 	for _, loc := range pool {
 		if loc.IsHost() {
-			return
+			host = true
+			break
 		}
 		if e := r.ewma[r.widx(loc.Node, loc.GPU)]; e > 0 {
 			sum += e
 			n++
 		}
 	}
-	if n > 0 {
+	if !host && n > 0 {
 		mean := sum / time.Duration(n)
 		for _, loc := range pool {
 			if i := r.widx(loc.Node, loc.GPU); r.ewma[i] == 0 {
@@ -207,7 +422,27 @@ func (r *Router) poolChanged(si scheduler.StageInst, pool []fabric.Location) {
 			}
 		}
 	}
-	r.fresh = false
+	// Drop this stage's session pins to workers that left the pool: a
+	// cordoned (draining) or failed-over worker must not keep receiving
+	// affinity-pinned picks through a stale pin.
+	if len(r.sessions) > 0 {
+		for k, pin := range r.sessions {
+			if k.si != si {
+				continue
+			}
+			present := false
+			for _, loc := range pool {
+				if !loc.IsHost() && r.widx(loc.Node, loc.GPU) == pin.w {
+					present = true
+					break
+				}
+			}
+			if !present {
+				delete(r.sessions, k)
+				r.Stats.AffinityInvalidations++
+			}
+		}
+	}
 }
 
 // Snapshot returns the current cached worker states, refreshing if stale
@@ -253,16 +488,34 @@ func (r *Router) Snapshot() []WorkerState {
 // no-healthy-worker picks decline, falling back to round-robin — a
 // simulation must still run every request, so total failure degrades to the
 // placement-only path and is counted in Stats.Fallbacks.
-func (r *Router) route(si scheduler.StageInst, seq int64, pool []fabric.Location) (int, bool) {
+//
+// With a positive Weights.Session, a session-carrying request biases the
+// pick toward the worker holding the session's state: the pin's decayed
+// affinity lands in the candidate's WorkerState.Affinity and the scorer
+// weighs it against load. The bias applies only to candidates present in
+// the stage's current pool — a cordoned or crashed worker is absent from it
+// (or unhealthy), so stale pins cannot steer picks to it — and every scored
+// pick re-pins the session where it actually landed.
+func (r *Router) route(si scheduler.StageInst, ri cluster.RouteInfo, pool []fabric.Location) (int, bool) {
 	snap := r.Snapshot()
+	useAff := ri.Session != 0 && saneWeight(r.cfg.Weights.Session) > 0
+	pinned := -1
+	aff := 0.0
+	if useAff {
+		pinned, aff = r.sessionBias(sessionKey{ri.Session, si})
+	}
 	r.cstates = r.cstates[:0]
 	unhealthy := 0
 	for _, loc := range pool {
 		if loc.IsHost() {
 			return 0, false
 		}
-		ws := snap[r.widx(loc.Node, loc.GPU)]
-		ws.QueueDepth += r.pending[r.widx(loc.Node, loc.GPU)]
+		w := r.widx(loc.Node, loc.GPU)
+		ws := snap[w]
+		ws.QueueDepth += r.pending[w]
+		if w == pinned && ws.Healthy {
+			ws.Affinity = aff
+		}
 		if !ws.Healthy {
 			unhealthy++
 		}
@@ -273,17 +526,51 @@ func (r *Router) route(si scheduler.StageInst, seq int64, pool []fabric.Location
 		r.Stats.Failovers++
 		r.Stats.Retries += int64(unhealthy)
 	}
-	idx, err := RouteRequest(r.cstates, r.cfg, seq, r.rng)
+	idx, err := RouteRequest(r.cstates, r.cfg, ri.Seq, r.rng)
 	if err != nil {
 		r.Stats.Fallbacks++
 		return 0, false
 	}
-	r.pending[r.widx(pool[idx].Node, pool[idx].GPU)]++
+	picked := r.widx(pool[idx].Node, pool[idx].GPU)
+	r.pending[picked]++
+	if useAff {
+		if picked == pinned {
+			r.Stats.AffinityHits++
+		}
+		if r.sessions == nil {
+			r.sessions = make(map[sessionKey]sessionPin)
+		}
+		r.sessions[sessionKey{ri.Session, si}] = sessionPin{w: picked, at: r.c.Engine.Now()}
+	}
 	if ev := r.tr.InstantOn(obs.TrackSched, obs.CatPlace, "route:"+si.Stage); ev != 0 {
-		r.tr.SetAttrInt(ev, "seq", seq)
+		r.tr.SetAttrInt(ev, "seq", ri.Seq)
 		r.tr.SetAttrInt(ev, "node", int64(pool[idx].Node))
 		r.tr.SetAttrInt(ev, "gpu", int64(pool[idx].GPU))
 		r.tr.SetAttrInt(ev, "queue", int64(r.cstates[idx].QueueDepth))
 	}
 	return idx, true
+}
+
+// sessionBias resolves one session pin: the pinned worker index and its
+// staleness-decayed affinity (1 just after use, linear to 0 at AffinityTTL).
+// Fully decayed and crash-blacklisted pins are dropped; absent pins return
+// (-1, 0).
+func (r *Router) sessionBias(k sessionKey) (int, float64) {
+	pin, ok := r.sessions[k]
+	if !ok {
+		return -1, 0
+	}
+	now := r.c.Engine.Now()
+	if r.downUntil[pin.w] > now {
+		delete(r.sessions, k)
+		r.Stats.AffinityInvalidations++
+		return -1, 0
+	}
+	age := now - pin.at
+	if age >= r.cfg.AffinityTTL {
+		delete(r.sessions, k)
+		r.Stats.AffinityInvalidations++
+		return -1, 0
+	}
+	return pin.w, 1 - float64(age)/float64(r.cfg.AffinityTTL)
 }

@@ -39,6 +39,13 @@ type WorkerState struct {
 	// [0,1] (less is better). NaN or out-of-range inputs are sanitized to
 	// the worst value rather than poisoning the scores.
 	Utilization float64
+	// Affinity is the requesting session's decayed affinity for this worker
+	// in [0,1]: 1 when the session's state (KV cache, warm replica) was
+	// touched here just now, decaying to 0 with staleness. Zero for workers
+	// the session never used and for sessionless requests. Unlike the other
+	// metrics it is already normalized, so Score uses it raw (no min-max):
+	// a lone pinned candidate must still outscore strangers.
+	Affinity float64
 }
 
 // Weights are the scorer's multi-objective coefficients. Negative, NaN, or
@@ -46,6 +53,10 @@ type WorkerState struct {
 // equally (uniform scoring, the differential oracle's configuration).
 type Weights struct {
 	FreeMem, Queue, Latency, Util float64
+	// Session weights the session-affinity term (WorkerState.Affinity).
+	// Zero — the default, and every pre-affinity configuration — leaves
+	// scoring byte-identical to the affinity-free scorer.
+	Session float64
 }
 
 // saneWeight clamps a weight to a usable non-negative finite value.
@@ -83,7 +94,8 @@ func Score(states []WorkerState, w Weights) []float64 {
 		return scores
 	}
 	wf, wq, wl, wu := saneWeight(w.FreeMem), saneWeight(w.Queue), saneWeight(w.Latency), saneWeight(w.Util)
-	sumW := wf + wq + wl + wu
+	ws := saneWeight(w.Session)
+	sumW := wf + wq + wl + wu + ws
 	if sumW == 0 {
 		for i := range scores {
 			scores[i] = 0.5
@@ -117,7 +129,12 @@ func Score(states []WorkerState, w Weights) []float64 {
 		q := 1 - norm(float64(maxInt(s.QueueDepth, 0)), loQ, hiQ)
 		l := 1 - norm(float64(max64(int64(s.EWMALatency), 0)), loL, hiL)
 		u := 1 - norm(saneUtil(s.Utilization), loU, hiU)
-		scores[i] = (wf*fm + wq*q + wl*l + wu*u) / sumW
+		// Affinity is used raw (already in [0,1], saneUtil reuses the clamp):
+		// min-max normalizing it would hand every candidate 0.5 whenever the
+		// session has no pin among them, and 1.0 to the pinned worker even as
+		// its affinity decays toward zero.
+		aff := saneUtil(s.Affinity)
+		scores[i] = (wf*fm + wq*q + wl*l + wu*u + ws*aff) / sumW
 	}
 	return scores
 }

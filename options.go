@@ -19,6 +19,8 @@ type simOptions struct {
 	elasticCfg cluster.ElasticConfig
 	pd         bool
 	pdCfg      router.PDPolicyConfig
+	slo        bool
+	sloCfg     router.SLOConfig
 }
 
 func defaultSimOptions() simOptions { return simOptions{nodes: 1} }
@@ -85,6 +87,24 @@ func WithAutoscaler(cfg ...ElasticConfig) Option {
 		if len(cfg) > 0 {
 			o.elasticCfg = cfg[0]
 		}
+	}
+}
+
+// WithSLO sets the per-class SLO admission configuration Sim.NewRouter
+// folds into routers it attaches: requests predicted to miss their class
+// latency budget are deferred in a bounded virtual-time delay queue and
+// then shed (App.Submit returns ErrSLOShed on an immediate shed). An
+// explicit RouterConfig argument to NewRouter that already carries an
+// enabled SLO takes precedence:
+//
+//	s := grouter.MustNewSim("dgx-v100", grouter.WithSLO(grouter.RouterSLOConfig{
+//	    High: grouter.RouterSLOClass{Budget: 40 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+//	    Low:  grouter.RouterSLOClass{Budget: 120 * time.Millisecond, MaxDelay: 2 * time.Millisecond},
+//	}))
+func WithSLO(cfg RouterSLOConfig) Option {
+	return func(o *simOptions) {
+		o.slo = true
+		o.sloCfg = cfg
 	}
 }
 
